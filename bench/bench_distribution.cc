@@ -1,0 +1,70 @@
+// Ablation E6 (DESIGN.md): the discrete scale factor distribution f^y —
+// "uniformly distributed data values to specially skewed data values"
+// (paper Section V). Skew concentrates the movement data's foreign keys on
+// hot customers/products, which changes duplicate-elimination volume and
+// the size distribution of the OrdersMV groups.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/dipbench/client.h"
+
+using namespace dipbench;
+
+namespace {
+
+struct DistResult {
+  Distribution dist;
+  BenchmarkResult result;
+};
+
+}  // namespace
+
+int main() {
+  int periods = 10;
+  if (const char* p = std::getenv("DIPBENCH_PERIODS")) periods = std::atoi(p);
+
+  std::vector<DistResult> runs;
+  for (Distribution dist :
+       {Distribution::kUniform, Distribution::kZipf, Distribution::kNormal}) {
+    ScaleConfig config;
+    config.datasize = 0.05;
+    config.periods = periods;
+    config.distribution = dist;
+    auto scenario_result = Scenario::Create();
+    if (!scenario_result.ok()) return 1;
+    auto scenario = std::move(scenario_result).ValueOrDie();
+    core::DataflowEngine engine(scenario->network());
+    Client client(scenario.get(), &engine, config);
+    auto result = client.Run();
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", DistributionToString(dist),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    runs.push_back({dist, std::move(result).ValueOrDie()});
+  }
+
+  std::printf("=== Distribution scale factor f: effect on consolidation "
+              "(d=0.05, %d periods) ===\n\n",
+              periods);
+  std::printf("%-9s %12s %12s %12s %14s %12s\n", "f", "P03 NAVG+",
+              "P09 NAVG+", "P13 NAVG+", "dups elim.", "MV rows");
+  for (const auto& run : runs) {
+    uint64_t dups = 0;
+    for (const auto& m : run.result.per_process) {
+      dups += m.quality.duplicates_eliminated;
+    }
+    std::printf("%-9s %12.1f %12.1f %12.1f %14llu %12zu\n",
+                DistributionToString(run.dist), run.result.NavgPlus("P03"),
+                run.result.NavgPlus("P09"), run.result.NavgPlus("P13"),
+                static_cast<unsigned long long>(dups),
+                run.result.verification.dwh_mv_rows);
+  }
+  std::printf(
+      "\nSkewed draws concentrate the shared Beijing/Seoul order-key domain\n"
+      "on hot keys: hot keys collapse at the sources, so P09 extracts and\n"
+      "unions fewer distinct rows (lower NAVG+), and the OrdersMV cube has\n"
+      "slightly fewer (month, city) groups.\n");
+  return 0;
+}

@@ -1,0 +1,242 @@
+// Micro-benchmarks (E7 in DESIGN.md): per-operator throughput of the
+// substrate pieces that back the cost model — relational operators, XML
+// parse/serialize, STX translation, XSD validation, and the end-to-end
+// endpoint paths (database vs Web-service marshaling).
+
+#include <benchmark/benchmark.h>
+
+#include "src/dipbench/schemas.h"
+#include "src/net/endpoint.h"
+#include "src/ra/query.h"
+#include "src/xml/bridge.h"
+#include "src/xml/parser.h"
+#include "src/xml/path.h"
+
+namespace dipbench {
+namespace {
+
+RowSet MakeOrders(int64_t n) {
+  RowSet rs;
+  rs.schema.AddColumn("orderkey", DataType::kInt64, false)
+      .AddColumn("custkey", DataType::kInt64)
+      .AddColumn("price", DataType::kDouble)
+      .AddColumn("orderdate", DataType::kDate);
+  Rng rng(7);
+  for (int64_t i = 0; i < n; ++i) {
+    rs.rows.push_back({Value::Int(i), Value::Int(rng.NextInt(1, 100)),
+                       Value::Double(rng.NextDoubleIn(1, 500)),
+                       Value::DateYmd(2008, 1 + int(i % 6), 1 + int(i % 28))});
+  }
+  return rs;
+}
+
+void BM_Filter(benchmark::State& state) {
+  RowSet rows = MakeOrders(state.range(0));
+  auto plan = Filter(ScanValues(rows), Gt(Col("price"), Lit(250.0)));
+  for (auto _ : state) {
+    ExecContext ctx;
+    auto out = plan->Execute(&ctx);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Filter)->Arg(1000)->Arg(10000);
+
+void BM_HashJoin(benchmark::State& state) {
+  RowSet orders = MakeOrders(state.range(0));
+  RowSet lookup;
+  lookup.schema.AddColumn("custkey", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString);
+  for (int64_t i = 1; i <= 100; ++i) {
+    lookup.rows.push_back({Value::Int(i), Value::String("c")});
+  }
+  auto plan = HashJoin(ScanValues(orders), ScanValues(lookup), {"custkey"},
+                       {"custkey"});
+  for (auto _ : state) {
+    ExecContext ctx;
+    auto out = plan->Execute(&ctx);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(10000);
+
+void BM_UnionDistinct(benchmark::State& state) {
+  RowSet a = MakeOrders(state.range(0));
+  RowSet b = MakeOrders(state.range(0));  // identical: worst-case dedup
+  auto plan = UnionDistinct({ScanValues(a), ScanValues(b)}, {"orderkey"});
+  for (auto _ : state) {
+    ExecContext ctx;
+    auto out = plan->Execute(&ctx);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * state.range(0));
+}
+BENCHMARK(BM_UnionDistinct)->Arg(1000)->Arg(10000);
+
+void BM_Aggregate(benchmark::State& state) {
+  RowSet rows = MakeOrders(state.range(0));
+  auto plan = Aggregate(
+      ScanValues(rows), {"custkey"},
+      {{"revenue", AggFunc::kSum, "price"}, {"n", AggFunc::kCount, ""}});
+  for (auto _ : state) {
+    ExecContext ctx;
+    auto out = plan->Execute(&ctx);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Aggregate)->Arg(1000)->Arg(10000);
+
+void BM_XmlParse(benchmark::State& state) {
+  RowSet rows = MakeOrders(state.range(0));
+  std::string text = xml::WriteXml(*xml::RowSetToXml(rows, "rs", "row"));
+  for (auto _ : state) {
+    auto doc = xml::ParseXml(text);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_XmlParse)->Arg(100)->Arg(1000);
+
+void BM_XmlSerialize(benchmark::State& state) {
+  RowSet rows = MakeOrders(state.range(0));
+  auto doc = xml::RowSetToXml(rows, "rs", "row");
+  for (auto _ : state) {
+    std::string text = xml::WriteXml(*doc);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_XmlSerialize)->Arg(100)->Arg(1000);
+
+void BM_StxTranslate(benchmark::State& state) {
+  RowSet rows = MakeOrders(state.range(0));
+  auto doc = xml::RowSetToXml(rows, "rs", "row");
+  auto stx = schemas::BeijingToCdbStx();
+  for (auto _ : state) {
+    size_t visited = 0;
+    auto out = stx->Transform(*doc, &visited);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StxTranslate)->Arg(100)->Arg(1000);
+
+void BM_XsdValidate(benchmark::State& state) {
+  auto xsd = schemas::SanDiegoOrderXsd();
+  auto doc = xml::ParseXml(
+      "<SDOrder><OKey>1</OKey><CKey>2</CKey><PKey>3</PKey><Qty>4</Qty>"
+      "<Price>5.5</Price><ODate>20080101</ODate><Prio>U</Prio></SDOrder>");
+  for (auto _ : state) {
+    Status st = xsd->Validate(**doc);
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_XsdValidate);
+
+void BM_XPathDescendant(benchmark::State& state) {
+  RowSet rows = MakeOrders(1000);
+  auto doc = xml::RowSetToXml(rows, "rs", "row");
+  for (auto _ : state) {
+    auto nodes = xml::SelectNodes(*doc, "//custkey");
+    benchmark::DoNotOptimize(nodes);
+  }
+}
+BENCHMARK(BM_XPathDescendant);
+
+void BM_IndexRangeScan(benchmark::State& state) {
+  Database db("src");
+  Schema s;
+  s.AddColumn("k", DataType::kInt64, false)
+      .AddColumn("price", DataType::kDouble)
+      .SetPrimaryKey({"k"});
+  Table* t = *db.CreateTable("t", s);
+  (void)t->CreateOrderedIndex("by_price", "price");
+  Rng rng(3);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    (void)t->Insert({Value::Int(i), Value::Double(rng.NextDoubleIn(0, 1000))});
+  }
+  // A 1% selective range: the ordered index vs a full-scan filter.
+  auto plan = IndexRangeScan(t, "by_price", Value::Double(500.0),
+                             Value::Double(510.0));
+  for (auto _ : state) {
+    ExecContext ctx;
+    auto out = plan->Execute(&ctx);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) / 100);
+}
+BENCHMARK(BM_IndexRangeScan)->Arg(10000);
+
+void BM_FullScanFilterSameRange(benchmark::State& state) {
+  Database db("src");
+  Schema s;
+  s.AddColumn("k", DataType::kInt64, false)
+      .AddColumn("price", DataType::kDouble)
+      .SetPrimaryKey({"k"});
+  Table* t = *db.CreateTable("t", s);
+  Rng rng(3);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    (void)t->Insert({Value::Int(i), Value::Double(rng.NextDoubleIn(0, 1000))});
+  }
+  auto plan = Filter(ScanTable(t), And(Ge(Col("price"), Lit(500.0)),
+                                       Le(Col("price"), Lit(510.0))));
+  for (auto _ : state) {
+    ExecContext ctx;
+    auto out = plan->Execute(&ctx);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) / 100);
+}
+BENCHMARK(BM_FullScanFilterSameRange)->Arg(10000);
+
+void BM_EndpointQuery_Database(benchmark::State& state) {
+  Database db("src");
+  Schema s;
+  s.AddColumn("k", DataType::kInt64, false).AddColumn("v", DataType::kString);
+  Table* t = *db.CreateTable("t", s);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    (void)t->Insert({Value::Int(i), Value::String("v")});
+  }
+  net::DatabaseEndpoint ep("src", &db, net::Channel(), 0.0);
+  (void)ep.RegisterQuery("all", [](Database* d, const std::vector<Value>&)
+                                    -> Result<RowSet> {
+    ExecContext ec;
+    return Query::From(*d->GetTable("t")).Run(&ec);
+  });
+  for (auto _ : state) {
+    net::NetStats stats;
+    auto rows = ep.Query("all", {}, &stats);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EndpointQuery_Database)->Arg(1000);
+
+void BM_EndpointQuery_WebService(benchmark::State& state) {
+  Database db("src");
+  Schema s;
+  s.AddColumn("k", DataType::kInt64, false).AddColumn("v", DataType::kString);
+  Table* t = *db.CreateTable("t", s);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    (void)t->Insert({Value::Int(i), Value::String("v")});
+  }
+  net::WebServiceEndpoint ep("ws", &db, net::Channel(), 0.0, 0.0);
+  (void)ep.RegisterQuery("all", [](Database* d, const std::vector<Value>&)
+                                    -> Result<RowSet> {
+    ExecContext ec;
+    return Query::From(*d->GetTable("t")).Run(&ec);
+  });
+  for (auto _ : state) {
+    net::NetStats stats;
+    auto rows = ep.Query("all", {}, &stats);  // marshals through XML
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EndpointQuery_WebService)->Arg(1000);
+
+}  // namespace
+}  // namespace dipbench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Ablation: plan caching as a self-management optimization.
+//
+// The paper keeps the modeled processes deliberately suboptimal and cites
+// [22] ("Towards self-optimization of message transformation processes")
+// for the optimization space. One concrete C_m optimization is caching
+// instantiated process plans: only the first instance of a process type
+// pays full plan instantiation. This bench quantifies the benefit across
+// the process mix — the high-frequency E1 message types gain the most
+// because plan instantiation is a fixed cost per instance.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/dipbench/client.h"
+
+using namespace dipbench;
+
+namespace {
+
+Result<BenchmarkResult> RunWithCache(bool cache, const ScaleConfig& config) {
+  DIP_ASSIGN_OR_RETURN(auto scenario, Scenario::Create());
+  core::DataflowEngine engine(scenario->network(), core::DataflowWeights(),
+                              config.worker_slots);
+  engine.EnablePlanCache(cache);
+  Client client(scenario.get(), &engine, config);
+  return client.Run();
+}
+
+}  // namespace
+
+int main() {
+  ScaleConfig config;
+  config.datasize = 0.05;
+  config.periods = 10;
+  if (const char* p = std::getenv("DIPBENCH_PERIODS")) {
+    config.periods = std::atoi(p);
+  }
+
+  auto off = RunWithCache(false, config);
+  auto on = RunWithCache(true, config);
+  if (!off.ok() || !on.ok()) {
+    std::fprintf(stderr, "%s %s\n", off.status().ToString().c_str(),
+                 on.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== Plan-cache ablation (d=%.2f, %d periods, dataflow "
+              "engine) ===\n\n",
+              config.datasize, config.periods);
+  std::printf("%-5s %-3s %8s %12s %12s %10s\n", "Proc", "E", "n",
+              "NAVG+ off", "NAVG+ on", "saving");
+  double e1_saving = 0, e2_saving = 0;
+  int e1_n = 0, e2_n = 0;
+  for (const auto& m : off->per_process) {
+    double cached = on->NavgPlus(m.process_id);
+    bool is_e1 = m.process_id == "P01" || m.process_id == "P02" ||
+                 m.process_id == "P04" || m.process_id == "P08" ||
+                 m.process_id == "P10";
+    double saving =
+        m.navg_plus_tu > 0 ? 1.0 - cached / m.navg_plus_tu : 0.0;
+    std::printf("%-5s %-3s %8d %12.2f %12.2f %9.1f%%\n",
+                m.process_id.c_str(), is_e1 ? "E1" : "E2", m.instances,
+                m.navg_plus_tu, cached, saving * 100);
+    if (is_e1) {
+      e1_saving += saving;
+      ++e1_n;
+    } else {
+      e2_saving += saving;
+      ++e2_n;
+    }
+  }
+  std::printf("\navg NAVG+ saving: E1 = %.1f%%, E2 = %.1f%%\n",
+              e1_saving / e1_n * 100, e2_saving / e2_n * 100);
+  std::printf("shape check (fixed-cost optimization helps cheap frequent "
+              "types most): E1 saving > E2 saving : %s\n",
+              e1_saving / e1_n > e2_saving / e2_n ? "OK" : "VIOLATED");
+  return 0;
+}

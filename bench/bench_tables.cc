@@ -1,0 +1,65 @@
+// Regenerates paper Table I (the benchmark process types of groups A-D)
+// and Table II (the benchmark scheduling series of streams A-D) from the
+// implementation, so the deployed definitions and the schedule generator
+// can be compared against the specification at a glance.
+
+#include <cstdio>
+
+#include "src/dipbench/processes.h"
+#include "src/dipbench/schedule.h"
+
+using namespace dipbench;
+
+int main() {
+  std::printf("=== Table I: benchmark process types of groups A, B, C, D "
+              "===\n\n");
+  std::printf("%-6s %-4s %-4s %s\n", "Group", "ID", "Evt", "Description");
+  for (const auto& def : BuildProcesses()) {
+    std::printf("%-6c %-4s %-4s %s\n", def.group, def.id.c_str(),
+                def.event_type == core::EventType::kMessage ? "E1" : "E2",
+                def.description.c_str());
+  }
+
+  std::printf("\n=== Table II: benchmark scheduling series (instance counts "
+              "for sample configurations) ===\n\n");
+  std::printf("%-4s %-28s %10s %10s %10s\n", "ID", "series [tu]",
+              "m(k=0,d=.05)", "m(k=0,d=.1)", "m(k=50,d=.1)");
+  struct RowSpec {
+    const char* id;
+    const char* series;
+  };
+  const RowSpec rows[] = {
+      {"P01", "T0(A_k) + 2(m-1)"},
+      {"P02", "T0(A_k) + 2m"},
+      {"P03", "tau1(P01) ^ tau1(P02)"},
+      {"P04", "T0(B_k) + 2(m-1)"},
+      {"P05", "tau1(P04)"},
+      {"P06", "tau1(P05)"},
+      {"P07", "tau1(P06)"},
+      {"P08", "T0(B_k) + 2000 + 3(m-1)"},
+      {"P09", "tau1(P08)"},
+      {"P10", "T0(B_k) + 3000 + 2.5(m-1)"},
+      {"P11", "tau1(Stream B)"},
+      {"P12", "T0(C_k)"},
+      {"P13", "T0(C_k) + 10"},
+      {"P14", "T0(D_k)"},
+      {"P15", "tau1(P14)"},
+  };
+  for (const auto& row : rows) {
+    std::printf("%-4s %-28s %10d %10d %10d\n", row.id, row.series,
+                Schedule::InstanceCount(row.id, 0, 0.05),
+                Schedule::InstanceCount(row.id, 0, 0.1),
+                Schedule::InstanceCount(row.id, 50, 0.1));
+  }
+  std::printf("\nFirst five event offsets of each E1 series (tu, k=0, "
+              "d=0.05):\n");
+  for (const char* id : {"P01", "P02", "P04", "P08", "P10"}) {
+    auto series = Schedule::SeriesTu(id, 0, 0.05);
+    std::printf("%-4s:", id);
+    for (size_t i = 0; i < series.size() && i < 5; ++i) {
+      std::printf(" %.1f", series[i]);
+    }
+    std::printf("%s\n", series.size() > 5 ? " ..." : "");
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation E8 (DESIGN.md): the continuous scale factor time t^x.
+//
+// Paper Section V: "An increasing t^x reduces the time interval between
+// two successive schedule events ... A shorter interval further reduces
+// the time for self-management and thus reduces the performance of the
+// system. Due to the concurrent streams A and B, a shorter interval also
+// influences the degree of parallelism."
+//
+// This bench sweeps t and reports the queueing/wait share and NAVG+ of the
+// concurrent message types.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/dipbench/client.h"
+
+using namespace dipbench;
+
+int main() {
+  int periods = 10;
+  if (const char* p = std::getenv("DIPBENCH_PERIODS")) periods = std::atoi(p);
+
+  std::printf("=== Time scale factor t: concurrency pressure on the message "
+              "types (d=0.05, %d periods, 2 workers) ===\n\n",
+              periods);
+  std::printf("%6s %12s %12s %12s %14s %16s\n", "t", "P04 NAVG+", "P08 NAVG+",
+              "P10 NAVG+", "avg wait [tu]", "avg concurrency");
+
+  double prev_wait = -1;
+  bool monotone = true;
+  for (double t : {0.5, 1.0, 2.0, 4.0}) {
+    ScaleConfig config;
+    config.datasize = 0.05;
+    config.time_scale = t;
+    config.periods = periods;
+    config.worker_slots = 2;  // tight workers make the effect visible
+    auto scenario_result = Scenario::Create();
+    if (!scenario_result.ok()) return 1;
+    auto scenario = std::move(scenario_result).ValueOrDie();
+    core::DataflowEngine engine(scenario->network(), core::DataflowWeights(),
+                                config.worker_slots);
+    Client client(scenario.get(), &engine, config);
+    auto result = client.Run();
+    if (!result.ok()) {
+      std::fprintf(stderr, "t=%.1f: %s\n", t,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    double wait = 0, conc = 0;
+    int n = 0;
+    for (const auto& m : result->per_process) {
+      if (m.process_id == "P04" || m.process_id == "P08" ||
+          m.process_id == "P10") {
+        wait += m.avg_wait_tu;
+        conc += m.avg_concurrency;
+        ++n;
+      }
+    }
+    std::printf("%6.1f %12.1f %12.1f %12.1f %14.2f %16.2f\n", t,
+                result->NavgPlus("P04"), result->NavgPlus("P08"),
+                result->NavgPlus("P10"), wait / n, conc / n);
+    if (prev_wait >= 0 && wait / n < prev_wait) monotone = false;
+    prev_wait = wait / n;
+  }
+  std::printf("\nshape check (larger t -> more queueing for the message "
+              "streams): %s\n",
+              monotone ? "OK" : "VIOLATED");
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Full DIPBench run — the toolsuite's command-line face.
+//
+// Usage:
+//   run_dipbench [--datasize D] [--time T] [--dist uniform|zipf|normal]
+//                [--periods N] [--engine dataflow|federated|eai]
+//                [--workers W] [--error-rate Q] [--plan-cache]
+//                [--csv] [--gnuplot] [--export-data DIR] [--trace]
+//
+// Reproduces the paper's reference-implementation experiments: runs the
+// pre/work/post phases over N benchmark periods and prints the DIPBench
+// performance plot (Fig. 10/11 style), the verification report and, with
+// --csv, the per-process metric rows.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/dipbench/client.h"
+#include "src/dipbench/quality.h"
+
+using namespace dipbench;
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--datasize D] [--time T] [--dist uniform|zipf|"
+               "normal]\n          [--periods N] [--engine dataflow|"
+               "federated|eai] [--workers W]\n          [--error-rate Q] "
+               "[--plan-cache] [--csv] [--gnuplot] [--export-data DIR] [--trace]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ScaleConfig config;
+  config.datasize = 0.05;
+  config.periods = 10;
+  std::string engine_kind = "dataflow";
+  bool csv = false;
+  bool gnuplot = false;
+  bool plan_cache = false;
+  bool trace = false;
+  std::string export_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--datasize") {
+      config.datasize = std::atof(next());
+    } else if (arg == "--time") {
+      config.time_scale = std::atof(next());
+    } else if (arg == "--periods") {
+      config.periods = std::atoi(next());
+    } else if (arg == "--workers") {
+      config.worker_slots = std::atoi(next());
+    } else if (arg == "--dist") {
+      std::string d = next();
+      config.distribution = d == "zipf"     ? Distribution::kZipf
+                            : d == "normal" ? Distribution::kNormal
+                                            : Distribution::kUniform;
+    } else if (arg == "--engine") {
+      engine_kind = next();
+    } else if (arg == "--error-rate") {
+      config.error_rate = std::atof(next());
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--gnuplot") {
+      gnuplot = true;
+    } else if (arg == "--plan-cache") {
+      plan_cache = true;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--export-data") {
+      export_dir = next();
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  auto scenario_result = Scenario::Create();
+  if (!scenario_result.ok()) {
+    std::fprintf(stderr, "scenario: %s\n",
+                 scenario_result.status().ToString().c_str());
+    return 1;
+  }
+  auto scenario = std::move(scenario_result).ValueOrDie();
+
+  std::unique_ptr<core::EngineBase> engine;
+  if (engine_kind == "federated") {
+    engine = std::make_unique<core::FederatedEngine>(
+        scenario->network(), core::FederatedWeights(), config.worker_slots);
+  } else if (engine_kind == "eai") {
+    engine = std::make_unique<core::EaiEngine>(
+        scenario->network(), core::EaiWeights(), config.worker_slots);
+  } else {
+    engine = std::make_unique<core::DataflowEngine>(
+        scenario->network(), core::DataflowWeights(), config.worker_slots);
+  }
+  engine->EnablePlanCache(plan_cache);
+  engine->EnableTracing(trace);
+
+  std::printf("%s  engine=%s\n", config.ToString().c_str(),
+              engine_kind.c_str());
+  Client client(scenario.get(), engine.get(), config);
+  auto result = client.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "benchmark failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n%s\n", result->RenderPlot().c_str());
+  std::printf("verification: %s\n",
+              result->verification.ToString().c_str());
+  std::printf("virtual time: %.1f ms, wall time: %.1f ms\n",
+              result->virtual_ms, result->wall_ms);
+  if (trace) {
+    // Operator drill-down of the costliest instance.
+    const core::InstanceRecord* worst = nullptr;
+    for (const auto& rec : engine->records()) {
+      if (worst == nullptr || rec.costs.Total() > worst->costs.Total()) {
+        worst = &rec;
+      }
+    }
+    if (worst != nullptr) {
+      std::printf("\ncostliest instance: %s (period %d, %.2f ms total)\n",
+                  worst->process_id.c_str(), worst->period,
+                  worst->costs.Total());
+      for (const auto& op : worst->trace) {
+        std::printf("  %8.3f ms (cc %7.3f, cm %6.3f, cp %7.3f)  %s\n",
+                    op.TotalMs(), op.cc_ms, op.cm_ms, op.cp_ms,
+                    op.op.c_str());
+      }
+    }
+  }
+  auto quality = AssessDataQuality(scenario.get());
+  if (quality.ok()) {
+    std::printf("data quality: %s\n", quality->ToString().c_str());
+  }
+  if (csv) {
+    std::printf("\n%s", Monitor::ToCsv(result->per_process).c_str());
+  }
+  if (gnuplot) {
+    std::printf("\n%s", Monitor::ToGnuplot(result->per_process,
+                                           config).c_str());
+  }
+  if (!export_dir.empty()) {
+    // Re-initialize period 0 (the run left the last period's data) and
+    // export the generated source datasets as XML flat files.
+    Initializer initializer(scenario.get(), config);
+    net::FileStore store;
+    Status st = initializer.InitializePeriod(0);
+    if (st.ok()) st = initializer.ExportSourceData(&store);
+    if (st.ok()) st = store.SaveToDisk(export_dir);
+    if (st.ok()) {
+      std::printf("exported %zu XML flat files to %s\n", store.size(),
+                  export_dir.c_str());
+    } else {
+      std::fprintf(stderr, "export failed: %s\n", st.ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+#ifndef DIPBENCH_COMMON_CLOCK_H_
+#define DIPBENCH_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dipbench {
+
+/// Virtual time in milliseconds. The whole benchmark runs as a discrete
+/// event simulation: external-system latency, operator processing and
+/// engine management all charge deterministic virtual costs, so a run is
+/// reproducible for a given (seed, scale factors) configuration.
+using VirtualTime = double;
+
+/// A monotonically advancing virtual clock.
+class VirtualClock {
+ public:
+  VirtualClock() : now_(0.0) {}
+
+  VirtualTime Now() const { return now_; }
+
+  /// Advances the clock by `delta_ms` (must be >= 0).
+  void Advance(VirtualTime delta_ms) {
+    if (delta_ms > 0) now_ += delta_ms;
+  }
+
+  /// Moves the clock forward to `t` if `t` is later than now.
+  void AdvanceTo(VirtualTime t) {
+    if (t > now_) now_ = t;
+  }
+
+  void Reset() { now_ = 0.0; }
+
+ private:
+  VirtualTime now_;
+};
+
+/// Wall-clock stopwatch for the google-benchmark harness and the toolsuite's
+/// own elapsed-time reporting.
+class StopWatch {
+ public:
+  StopWatch() { Start(); }
+
+  void Start() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Elapsed wall-clock time in milliseconds since Start().
+  double ElapsedMillis() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dipbench
+
+#endif  // DIPBENCH_COMMON_CLOCK_H_

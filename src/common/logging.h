@@ -1,0 +1,45 @@
+#ifndef DIPBENCH_COMMON_LOGGING_H_
+#define DIPBENCH_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dipbench {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimal leveled logger writing to stderr. Thread-safe at line granularity.
+/// The global threshold defaults to kWarning so library users are not
+/// spammed; benchmarks and examples raise it explicitly.
+class Logger {
+ public:
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { Logger::Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DIP_LOG(level) ::dipbench::internal::LogStream(::dipbench::LogLevel::level)
+
+}  // namespace dipbench
+
+#endif  // DIPBENCH_COMMON_LOGGING_H_

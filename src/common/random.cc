@@ -1,0 +1,164 @@
+#include "src/common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dipbench {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's method without 128-bit arithmetic: rejection on the top range.
+  uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0,1).
+  return (Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double Rng::NextDoubleIn(double lo, double hi) {
+  return lo + NextDouble() * (hi - lo);
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_gaussian_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextExponential(double lambda) {
+  assert(lambda > 0.0);
+  double u = 0.0;
+  do {
+    u = NextDouble();
+  } while (u <= 1e-300);
+  return -std::log(u) / lambda;
+}
+
+std::string Rng::NextString(size_t length) {
+  static const char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[NextBounded(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+void Rng::Shuffle(std::vector<size_t>* indices) {
+  for (size_t i = indices->size(); i > 1; --i) {
+    size_t j = NextBounded(i);
+    std::swap((*indices)[i - 1], (*indices)[j]);
+  }
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+const char* DistributionToString(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform:
+      return "uniform";
+    case Distribution::kZipf:
+      return "zipf";
+    case Distribution::kNormal:
+      return "normal";
+  }
+  return "?";
+}
+
+DistributionSampler::DistributionSampler(Distribution dist, uint64_t n,
+                                         uint64_t seed)
+    : dist_(dist), n_(n == 0 ? 1 : n), rng_(seed) {
+  if (dist_ == Distribution::kZipf) {
+    zipf_theta_ = 0.99;  // classic YCSB-style skew
+    zipf_alpha_ = 1.0 / (1.0 - zipf_theta_);
+    zipf_zetan_ = Zeta(n_, zipf_theta_);
+    double zeta2 = Zeta(2, zipf_theta_);
+    zipf_eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - zipf_theta_)) /
+                (1.0 - zeta2 / zipf_zetan_);
+  }
+}
+
+uint64_t DistributionSampler::Sample() {
+  switch (dist_) {
+    case Distribution::kUniform:
+      return rng_.NextBounded(n_);
+    case Distribution::kZipf: {
+      double u = rng_.NextDouble();
+      double uz = u * zipf_zetan_;
+      if (uz < 1.0) return 0;
+      if (uz < 1.0 + std::pow(0.5, zipf_theta_)) return 1;
+      uint64_t v = static_cast<uint64_t>(
+          double(n_) * std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
+      return v >= n_ ? n_ - 1 : v;
+    }
+    case Distribution::kNormal: {
+      double g = rng_.NextGaussian();
+      double x = double(n_) / 2.0 + g * double(n_) / 6.0;
+      if (x < 0.0) x = 0.0;
+      if (x >= double(n_)) x = double(n_) - 1.0;
+      return static_cast<uint64_t>(x);
+    }
+  }
+  return 0;
+}
+
+}  // namespace dipbench

@@ -1,0 +1,82 @@
+#ifndef DIPBENCH_COMMON_RANDOM_H_
+#define DIPBENCH_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dipbench {
+
+/// Deterministic 64-bit PRNG (xoshiro256**). Reproducible across platforms,
+/// which matters for a benchmark: a (seed, scale-factor) pair must generate
+/// the same dataset everywhere.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5851F42D4C957F2DULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// Bernoulli draw with probability p of true.
+  bool NextBool(double p = 0.5);
+  /// Uniform double in [lo, hi).
+  double NextDoubleIn(double lo, double hi);
+  /// Standard-normal draw (Box–Muller, deterministic pairing).
+  double NextGaussian();
+  /// Exponential draw with the given rate lambda.
+  double NextExponential(double lambda);
+  /// Uppercase alphanumeric string of the given length.
+  std::string NextString(size_t length);
+  /// Fisher–Yates shuffle of the given indices.
+  void Shuffle(std::vector<size_t>* indices);
+
+  /// Derives an independent child generator (for per-table streams).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// Data distribution selector — the paper's discrete scale factor f.
+enum class Distribution {
+  kUniform,   ///< Uniformly distributed key/value draws.
+  kZipf,      ///< Zipf-skewed draws (hot keys) with s = 1.0.
+  kNormal,    ///< Values clustered around the domain midpoint.
+};
+
+const char* DistributionToString(Distribution d);
+
+/// Draws integers in [0, n) following a fixed distribution.
+/// Used by the Initializer to generate uniformly distributed or specially
+/// skewed datasets (scale factor f in the paper, Section V).
+class DistributionSampler {
+ public:
+  DistributionSampler(Distribution dist, uint64_t n, uint64_t seed);
+
+  /// Next index in [0, n).
+  uint64_t Sample();
+
+  Distribution distribution() const { return dist_; }
+  uint64_t domain() const { return n_; }
+
+ private:
+  Distribution dist_;
+  uint64_t n_;
+  Rng rng_;
+  // Zipf rejection-inversion state (Jim Gray's method).
+  double zipf_alpha_ = 0.0;
+  double zipf_zetan_ = 0.0;
+  double zipf_eta_ = 0.0;
+  double zipf_theta_ = 0.0;
+};
+
+}  // namespace dipbench
+
+#endif  // DIPBENCH_COMMON_RANDOM_H_

@@ -1,0 +1,134 @@
+#ifndef DIPBENCH_COMMON_STATUS_H_
+#define DIPBENCH_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace dipbench {
+
+/// Error categories used across the library. The set mirrors what a small
+/// database / integration engine needs: user errors (invalid argument,
+/// not found, already exists), data errors (type mismatch, constraint,
+/// malformed input) and engine errors (internal, unavailable, timeout).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kTypeMismatch,
+  kConstraintViolation,
+  kParseError,
+  kValidationError,
+  kUnavailable,
+  kTimeout,
+  kUnimplemented,
+  kInternal,
+  kAborted,
+};
+
+/// Returns a stable human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Operation outcome without a payload. Modeled after the Status idiom used
+/// by RocksDB/Arrow: cheap to create and copy for the OK case, carries a
+/// code + message otherwise. Exceptions are not used on library paths.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ValidationError(std::string msg) {
+    return Status(StatusCode::kValidationError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsValidationError() const {
+    return code_ == StatusCode::kValidationError;
+  }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsConstraintViolation() const {
+    return code_ == StatusCode::kConstraintViolation;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes the message with additional context, keeping the code.
+  Status WithContext(const std::string& context) const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define DIP_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::dipbench::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+#define DIP_CONCAT_IMPL(a, b) a##b
+#define DIP_CONCAT(a, b) DIP_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error returns the status, otherwise
+/// moves the value into `lhs` (which may be a declaration).
+#define DIP_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto DIP_CONCAT(_res_, __LINE__) = (expr);                   \
+  if (!DIP_CONCAT(_res_, __LINE__).ok())                       \
+    return DIP_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(DIP_CONCAT(_res_, __LINE__)).ValueOrDie()
+
+}  // namespace dipbench
+
+#endif  // DIPBENCH_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+#ifndef DIPBENCH_COMMON_STRING_UTIL_H_
+#define DIPBENCH_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dipbench {
+
+/// Splits `input` at every occurrence of `sep`; keeps empty pieces.
+std::vector<std::string> StrSplit(std::string_view input, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view input);
+
+/// ASCII lower-casing.
+std::string StrLower(std::string_view input);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Escapes the five XML special characters (& < > " ').
+std::string XmlEscape(std::string_view input);
+
+}  // namespace dipbench
+
+#endif  // DIPBENCH_COMMON_STRING_UTIL_H_

@@ -1,0 +1,143 @@
+#include "src/dipbench/client.h"
+
+#include <algorithm>
+
+#include "src/dipbench/processes.h"
+#include "src/dipbench/schedule.h"
+
+namespace dipbench {
+
+std::string BenchmarkResult::RenderPlot() const {
+  return Monitor::RenderPlot(per_process, config);
+}
+
+double BenchmarkResult::NavgPlus(const std::string& process_id) const {
+  for (const auto& m : per_process) {
+    if (m.process_id == process_id) return m.navg_plus_tu;
+  }
+  return 0.0;
+}
+
+Client::Client(Scenario* scenario, core::IntegrationSystem* engine,
+               const ScaleConfig& config)
+    : scenario_(scenario),
+      engine_(engine),
+      config_(config),
+      initializer_(scenario, config) {}
+
+Status Client::DeployProcesses() {
+  for (const auto& def : BuildProcesses()) {
+    Status st = engine_->Deploy(def);
+    if (!st.ok() && st.code() != StatusCode::kAlreadyExists) return st;
+  }
+  return Status::OK();
+}
+
+Status Client::SubmitSeries(const std::string& process_id, int k,
+                            double t0_ms) {
+  std::vector<double> series = Schedule::SeriesTu(process_id, k,
+                                                  config_.datasize);
+  for (size_t m = 0; m < series.size(); ++m) {
+    core::ProcessEvent ev;
+    ev.process_id = process_id;
+    ev.when = t0_ms + config_.TuToMs(series[m]);
+    ev.period = k;
+    int idx = static_cast<int>(m) + 1;
+    if (process_id == "P01") {
+      ev.message = initializer_.MakeBeijingCustomer(k, idx);
+    } else if (process_id == "P02") {
+      ev.message = initializer_.MakeMdmCustomer(k, idx);
+    } else if (process_id == "P04") {
+      ev.message = initializer_.MakeViennaOrder(k, idx);
+    } else if (process_id == "P08") {
+      ev.message = initializer_.MakeHongkongSale(k, idx);
+    } else if (process_id == "P10") {
+      ev.message = initializer_.MakeSanDiegoOrder(k, idx);
+    }
+    DIP_RETURN_NOT_OK(engine_->Submit(std::move(ev)));
+  }
+  return Status::OK();
+}
+
+Status Client::RunPeriod(int k) {
+  // Uninitialize all external systems + initialize the source systems.
+  DIP_RETURN_NOT_OK(initializer_.InitializePeriod(k));
+
+  const double d = config_.datasize;
+  const double gap = config_.TuToMs(Schedule::kChainGapTu);
+  double t0 = engine_->Now() + gap;
+
+  // --- Streams A and B (concurrent) ---
+  DIP_RETURN_NOT_OK(SubmitSeries("P01", k, t0));
+  DIP_RETURN_NOT_OK(SubmitSeries("P02", k, t0));
+  DIP_RETURN_NOT_OK(SubmitSeries("P04", k, t0));
+  DIP_RETURN_NOT_OK(SubmitSeries("P08", k, t0));
+  DIP_RETURN_NOT_OK(SubmitSeries("P10", k, t0));
+
+  auto single = [&](const std::string& id, double when) {
+    core::ProcessEvent ev;
+    ev.process_id = id;
+    ev.when = when;
+    ev.period = k;
+    return engine_->Submit(std::move(ev));
+  };
+
+  // tau_1-driven time events, approximated on the schedule axis so they
+  // interleave with the message streams.
+  double end_a = std::max(Schedule::SeriesEndTu("P01", k, d),
+                          Schedule::SeriesEndTu("P02", k, d));
+  DIP_RETURN_NOT_OK(single("P03", t0 + config_.TuToMs(end_a) + gap));
+  double end_p04 = Schedule::SeriesEndTu("P04", k, d);
+  DIP_RETURN_NOT_OK(single("P05", t0 + config_.TuToMs(end_p04) + gap));
+  DIP_RETURN_NOT_OK(single("P06", t0 + config_.TuToMs(end_p04) + 2 * gap));
+  DIP_RETURN_NOT_OK(single("P07", t0 + config_.TuToMs(end_p04) + 3 * gap));
+  double end_p08 = Schedule::SeriesEndTu("P08", k, d);
+  DIP_RETURN_NOT_OK(single("P09", t0 + config_.TuToMs(end_p08) + gap));
+  DIP_RETURN_NOT_OK(engine_->RunUntilIdle());
+
+  // P11 = tau_1(Stream B): after the whole stream drained.
+  DIP_RETURN_NOT_OK(single("P11", engine_->Now() + gap));
+  DIP_RETURN_NOT_OK(engine_->RunUntilIdle());
+
+  // --- Stream C (serialized) ---
+  double t0_c = engine_->Now() + gap;
+  DIP_RETURN_NOT_OK(single("P12", t0_c));
+  DIP_RETURN_NOT_OK(engine_->RunUntilIdle());
+  DIP_RETURN_NOT_OK(single("P13", std::max(engine_->Now(),
+                                           t0_c + config_.TuToMs(10.0))));
+  DIP_RETURN_NOT_OK(engine_->RunUntilIdle());
+
+  // --- Stream D (serialized) ---
+  DIP_RETURN_NOT_OK(single("P14", engine_->Now() + gap));
+  DIP_RETURN_NOT_OK(engine_->RunUntilIdle());
+  DIP_RETURN_NOT_OK(single("P15", engine_->Now() + gap));
+  DIP_RETURN_NOT_OK(engine_->RunUntilIdle());
+  return Status::OK();
+}
+
+Result<BenchmarkResult> Client::Run() {
+  StopWatch watch;
+  // --- pre phase ---
+  DIP_RETURN_NOT_OK(DeployProcesses());
+  engine_->Reset();
+
+  // --- work phase ---
+  for (int k = 0; k < config_.periods; ++k) {
+    DIP_RETURN_NOT_OK(RunPeriod(k).WithContext(
+        "period " + std::to_string(k)));
+  }
+
+  // --- post phase ---
+  Monitor monitor(config_);
+  monitor.Collect(engine_->records());
+  BenchmarkResult result;
+  result.config = config_;
+  result.engine_name = engine_->name();
+  result.per_process = monitor.Summarize();
+  DIP_ASSIGN_OR_RETURN(result.verification, VerifyIntegration(scenario_));
+  result.virtual_ms = engine_->Now();
+  result.wall_ms = watch.ElapsedMillis();
+  return result;
+}
+
+}  // namespace dipbench

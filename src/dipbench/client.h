@@ -1,0 +1,72 @@
+#ifndef DIPBENCH_DIPBENCH_CLIENT_H_
+#define DIPBENCH_DIPBENCH_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/dipbench/config.h"
+#include "src/dipbench/datagen.h"
+#include "src/dipbench/monitor.h"
+#include "src/dipbench/scenario.h"
+#include "src/dipbench/verify.h"
+
+namespace dipbench {
+
+/// Result of one full benchmark run.
+struct BenchmarkResult {
+  ScaleConfig config;
+  std::string engine_name;
+  std::vector<ProcessMetrics> per_process;
+  VerificationReport verification;
+  double virtual_ms = 0.0;  ///< final engine virtual time
+  double wall_ms = 0.0;     ///< real elapsed time of the run
+
+  /// The Fig. 10/11-style plot.
+  std::string RenderPlot() const;
+  /// NAVG+ of one process type (0 when the type never ran).
+  double NavgPlus(const std::string& process_id) const;
+};
+
+/// The toolsuite's Client (paper Section V): owns the execution schedule —
+/// pre phase (deploy + initialize), work phase (the benchmark periods with
+/// their four streams), post phase (verification) — and drives the system
+/// under test through process-initiating events.
+///
+/// Stream handling per period k:
+///   * Streams A and B are concurrent: all E1 series (P01, P02, P04, P08,
+///     P10) are scheduled by their Table II series; the dependency-driven
+///     time events inside the streams (P03 after P01^P02; P05..P07 after
+///     P04; P09 after P08) are scheduled at their predecessors' series end
+///     plus a fixed gap, so they interleave in the same event queue.
+///   * P11 fires after stream B drained (tau_1 of stream B).
+///   * Stream C (P12, P13 at +10 tu) and stream D (P14, then P15) are
+///     serialized "in order to ensure the correct results".
+class Client {
+ public:
+  Client(Scenario* scenario, core::IntegrationSystem* engine,
+         const ScaleConfig& config);
+
+  /// Deploys the 15 process types (idempotent per engine).
+  Status DeployProcesses();
+
+  /// Runs the complete benchmark: pre, work (config.periods), post.
+  Result<BenchmarkResult> Run();
+
+  /// Runs a single period (exposed for tests and custom harnesses).
+  Status RunPeriod(int k);
+
+ private:
+  /// Submits an E1 series with generated messages at its schedule times.
+  Status SubmitSeries(const std::string& process_id, int k, double t0_ms);
+
+  Scenario* scenario_;
+  core::IntegrationSystem* engine_;
+  ScaleConfig config_;
+  Initializer initializer_;
+};
+
+}  // namespace dipbench
+
+#endif  // DIPBENCH_DIPBENCH_CLIENT_H_

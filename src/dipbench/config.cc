@@ -1,0 +1,14 @@
+#include "src/dipbench/config.h"
+
+#include "src/common/string_util.h"
+
+namespace dipbench {
+
+std::string ScaleConfig::ToString() const {
+  return StrFormat(
+      "ScaleConfig{d=%.3f, t=%.2f, f=%s, periods=%d, seed=%llu, workers=%d}",
+      datasize, time_scale, DistributionToString(distribution), periods,
+      static_cast<unsigned long long>(seed), worker_slots);
+}
+
+}  // namespace dipbench

@@ -1,0 +1,52 @@
+#ifndef DIPBENCH_DIPBENCH_CONFIG_H_
+#define DIPBENCH_DIPBENCH_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+
+namespace dipbench {
+
+/// The three scale factors of the benchmark (paper Section V) plus run
+/// parameters of the toolsuite.
+struct ScaleConfig {
+  /// Continuous scale factor datasize d^x: scales the dataset sizes of the
+  /// external systems and the number of E1 process instances per stream.
+  double datasize = 0.05;
+
+  /// Continuous scale factor time t^x: 1 tu = (1 / time_scale) ms. Larger
+  /// values shrink the interval between successive schedule events.
+  double time_scale = 1.0;
+
+  /// Discrete scale factor distribution f^y: uniform or specially skewed
+  /// source data characteristics.
+  Distribution distribution = Distribution::kUniform;
+
+  /// Extension scale factor (paper future work: "integrating quality ...
+  /// issues"): the base rate of injected data errors in generated movement
+  /// data (master data uses 0.75x of it). 0 disables error injection.
+  double error_rate = 0.04;
+
+  /// Number of benchmark periods k (the paper uses 100; smaller values are
+  /// supported so experiments finish quickly with the same shape).
+  int periods = 10;
+
+  /// Master seed; every generator stream is forked from it.
+  uint64_t seed = 20080412;
+
+  /// Worker slots of the system under test.
+  int worker_slots = 4;
+
+  /// Converts schedule time units to virtual milliseconds: 1 tu = 1/t ms.
+  VirtualTime TuToMs(double tu) const { return tu / time_scale; }
+  /// Converts virtual milliseconds back to tu for metric reporting.
+  double MsToTu(VirtualTime ms) const { return ms * time_scale; }
+
+  std::string ToString() const;
+};
+
+}  // namespace dipbench
+
+#endif  // DIPBENCH_DIPBENCH_CONFIG_H_

@@ -1,0 +1,172 @@
+#include "src/dipbench/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/common/string_util.h"
+
+namespace dipbench {
+
+void Monitor::Collect(const std::vector<core::InstanceRecord>& records) {
+  records_.insert(records_.end(), records.begin(), records.end());
+}
+
+std::vector<ProcessMetrics> Monitor::Summarize() const {
+  // Group record indexes per process type.
+  std::map<std::string, std::vector<size_t>> by_type;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    by_type[records_[i].process_id].push_back(i);
+  }
+
+  std::vector<ProcessMetrics> out;
+  for (const auto& [id, idxs] : by_type) {
+    ProcessMetrics m;
+    m.process_id = id;
+    m.instances = static_cast<int>(idxs.size());
+
+    double sum = 0.0, sumsq = 0.0;
+    double sum_cc = 0, sum_cm = 0, sum_cp = 0, sum_wait = 0;
+    double sum_conc = 0;
+    for (size_t i : idxs) {
+      const core::InstanceRecord& r = records_[i];
+      if (!r.ok) ++m.errors;
+      double nc = config_.MsToTu(r.costs.Total());
+      sum += nc;
+      sumsq += nc * nc;
+      sum_cc += config_.MsToTu(r.costs.cc_ms);
+      sum_cm += config_.MsToTu(r.costs.cm_ms);
+      sum_cp += config_.MsToTu(r.costs.cp_ms);
+      sum_wait += config_.MsToTu(r.wait_ms);
+      m.quality.Add(r.quality);
+
+      // Sweep-line-ish concurrency: overlap-weighted average instance count
+      // during [start, end).
+      double duration = r.end_time - r.start_time;
+      if (duration > 0) {
+        double overlap_total = 0.0;
+        for (const core::InstanceRecord& other : records_) {
+          if (&other == &r) continue;
+          double lo = std::max(r.start_time, other.start_time);
+          double hi = std::min(r.end_time, other.end_time);
+          if (hi > lo) overlap_total += hi - lo;
+        }
+        sum_conc += 1.0 + overlap_total / duration;
+      } else {
+        sum_conc += 1.0;
+      }
+    }
+    double n = static_cast<double>(m.instances);
+    m.navg_tu = sum / n;
+    double var = std::max(0.0, sumsq / n - m.navg_tu * m.navg_tu);
+    m.stddev_tu = std::sqrt(var);
+    m.navg_plus_tu = m.navg_tu + m.stddev_tu;
+    m.avg_cc_tu = sum_cc / n;
+    m.avg_cm_tu = sum_cm / n;
+    m.avg_cp_tu = sum_cp / n;
+    m.avg_wait_tu = sum_wait / n;
+    m.avg_concurrency = sum_conc / n;
+    out.push_back(std::move(m));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProcessMetrics& a, const ProcessMetrics& b) {
+              return a.process_id < b.process_id;
+            });
+  return out;
+}
+
+std::string Monitor::RenderPlot(const std::vector<ProcessMetrics>& metrics,
+                                const ScaleConfig& config) {
+  double max_v = 1.0;
+  for (const auto& m : metrics) max_v = std::max(max_v, m.navg_plus_tu);
+  const int width = 52;
+
+  std::string out;
+  out += StrFormat(
+      "DIPBench Performance Plot [sfTime=%.1f, sfDatasize=%.2f, sfDist=%s]\n",
+      config.time_scale, config.datasize,
+      DistributionToString(config.distribution));
+  out += StrFormat("%-5s %10s %10s %6s  %s\n", "Proc", "NAVG+", "NAVG", "n",
+                   "NAVG+ (#) / NAVG (=) in tu");
+  for (const auto& m : metrics) {
+    int bar_plus = static_cast<int>(m.navg_plus_tu / max_v * width);
+    int bar_avg = static_cast<int>(m.navg_tu / max_v * width);
+    std::string bar(static_cast<size_t>(bar_plus), '#');
+    for (int i = 0; i < bar_avg && i < width; ++i) bar[i] = '=';
+    out += StrFormat("%-5s %10.1f %10.1f %6d  |%s\n", m.process_id.c_str(),
+                     m.navg_plus_tu, m.navg_tu, m.instances, bar.c_str());
+  }
+  return out;
+}
+
+std::string Monitor::ToCsv(const std::vector<ProcessMetrics>& metrics) {
+  std::string out =
+      "process,instances,errors,navg_tu,stddev_tu,navg_plus_tu,"
+      "cc_tu,cm_tu,cp_tu,wait_tu,concurrency,"
+      "validation_failures,rows_loaded,messages_rejected,"
+      "duplicates_eliminated\n";
+  for (const auto& m : metrics) {
+    out += StrFormat(
+        "%s,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%llu,%llu,%llu,"
+        "%llu\n",
+        m.process_id.c_str(), m.instances, m.errors, m.navg_tu, m.stddev_tu,
+        m.navg_plus_tu, m.avg_cc_tu, m.avg_cm_tu, m.avg_cp_tu, m.avg_wait_tu,
+        m.avg_concurrency,
+        static_cast<unsigned long long>(m.quality.validation_failures),
+        static_cast<unsigned long long>(m.quality.rows_loaded),
+        static_cast<unsigned long long>(m.quality.messages_rejected),
+        static_cast<unsigned long long>(m.quality.duplicates_eliminated));
+  }
+  return out;
+}
+
+std::string Monitor::ToGnuplot(const std::vector<ProcessMetrics>& metrics,
+                               const ScaleConfig& config) {
+  std::string out;
+  out += "# DIPBench performance plot — pipe into gnuplot\n";
+  out += StrFormat(
+      "set title 'DIPBench Performance Plot [sfTime=%.1f, sfDatasize=%.2f]'\n",
+      config.time_scale, config.datasize);
+  out += "set ylabel 'NAVG+ [in tu]'\n";
+  out += "set xlabel 'Process Types'\n";
+  out += "set style data histograms\n";
+  out += "set style fill pattern 1 border -1\n";
+  out += "set boxwidth 0.8\n";
+  out += "set xtics rotate by -45\n";
+  out +=
+      "plot '-' using 2:xtic(1) title 'NAVG+' , '-' using 2:xtic(1) title "
+      "'NAVG'\n";
+  for (const auto& m : metrics) {
+    out += StrFormat("%s %.3f\n", m.process_id.c_str(), m.navg_plus_tu);
+  }
+  out += "e\n";
+  for (const auto& m : metrics) {
+    out += StrFormat("%s %.3f\n", m.process_id.c_str(), m.navg_tu);
+  }
+  out += "e\n";
+  return out;
+}
+
+std::vector<Monitor::PeriodPoint> Monitor::SummarizeByPeriod(
+    const std::string& process_id) const {
+  std::map<int, std::pair<int, double>> per_period;  // period -> (n, sum)
+  for (const auto& r : records_) {
+    if (r.process_id != process_id) continue;
+    auto& [n, sum] = per_period[r.period];
+    ++n;
+    sum += config_.MsToTu(r.costs.Total());
+  }
+  std::vector<PeriodPoint> out;
+  out.reserve(per_period.size());
+  for (const auto& [period, agg] : per_period) {
+    PeriodPoint point;
+    point.period = period;
+    point.process_id = process_id;
+    point.instances = agg.first;
+    point.navg_tu = agg.first > 0 ? agg.second / agg.first : 0.0;
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+}  // namespace dipbench

@@ -1,0 +1,100 @@
+#ifndef DIPBENCH_DIPBENCH_MONITOR_H_
+#define DIPBENCH_DIPBENCH_MONITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/dipbench/config.h"
+
+namespace dipbench {
+
+/// Aggregated performance of one process type over a benchmark run —
+/// the row behind one bar pair of the paper's Fig. 10/11 plots.
+struct ProcessMetrics {
+  std::string process_id;
+  int instances = 0;
+  int errors = 0;
+
+  /// NAVG(p): average normalized cost per instance, in tu.
+  double navg_tu = 0.0;
+  /// sigma+: positive standard deviation across instances, in tu.
+  double stddev_tu = 0.0;
+  /// NAVG+(p) = NAVG + sigma+ — the paper's metric unit.
+  double navg_plus_tu = 0.0;
+
+  /// Cost-category averages (tu) for the breakdown analysis.
+  double avg_cc_tu = 0.0;
+  double avg_cm_tu = 0.0;
+  double avg_cp_tu = 0.0;
+
+  /// Average queueing delay before a worker picked the instance up (tu).
+  double avg_wait_tu = 0.0;
+  /// Average number of concurrently running instances while this type ran
+  /// (1.0 = fully serialized) — the sweep-line diagnostic behind the cost
+  /// normalization discussion in paper Section V.
+  double avg_concurrency = 1.0;
+
+  core::QualityCounters quality;
+};
+
+/// The toolsuite's Monitor: collects instance records from the system under
+/// test, computes the NAVG+ metric per process type and renders the
+/// performance plot / CSV output.
+///
+/// Cost normalization: the engine derives every cost category from work
+/// performed (rows, XML nodes, round trips) rather than from wall-clock
+/// time, so a process instance's cost is by construction independent of
+/// what else was running — exactly the property Section V demands. The
+/// concurrency that the paper's normalization removes is still *observable*
+/// through avg_concurrency, and its legitimate performance impact (queue
+/// waiting -> engine self-management) stays inside C_m.
+class Monitor {
+ public:
+  explicit Monitor(const ScaleConfig& config) : config_(config) {}
+
+  /// Appends a batch of instance records (typically once per run).
+  void Collect(const std::vector<core::InstanceRecord>& records);
+
+  size_t record_count() const { return records_.size(); }
+  void Clear() { records_.clear(); }
+
+  /// Per-process aggregation, ordered P01..P15 (process ids sorted).
+  std::vector<ProcessMetrics> Summarize() const;
+
+  /// Renders the DIPBench performance plot (paper Fig. 10/11) as an ASCII
+  /// bar chart of NAVG+ and NAVG per process type.
+  static std::string RenderPlot(const std::vector<ProcessMetrics>& metrics,
+                                const ScaleConfig& config);
+
+  /// Machine-readable output: one CSV row per process type.
+  static std::string ToCsv(const std::vector<ProcessMetrics>& metrics);
+
+  /// A self-contained gnuplot script (data inlined) that reproduces the
+  /// paper's Fig. 10/11 bar plot — the Monitor's "plotting functions for
+  /// the generation of performance diagrams".
+  static std::string ToGnuplot(const std::vector<ProcessMetrics>& metrics,
+                               const ScaleConfig& config);
+
+  /// One (period, process) series point: NAVG over the instances of that
+  /// process type within one benchmark period.
+  struct PeriodPoint {
+    int period = 0;
+    std::string process_id;
+    int instances = 0;
+    double navg_tu = 0.0;
+  };
+
+  /// Per-period averages for one process type (trend analysis; e.g. the
+  /// decreasing P01 volume across k, paper Fig. 8 left).
+  std::vector<PeriodPoint> SummarizeByPeriod(
+      const std::string& process_id) const;
+
+ private:
+  ScaleConfig config_;
+  std::vector<core::InstanceRecord> records_;
+};
+
+}  // namespace dipbench
+
+#endif  // DIPBENCH_DIPBENCH_MONITOR_H_

@@ -1,0 +1,68 @@
+#include "src/dipbench/quality.h"
+
+#include <set>
+
+#include "src/common/string_util.h"
+
+namespace dipbench {
+
+std::string DataQualityReport::ToString() const {
+  return StrFormat(
+      "fact_rows=%zu null_frac=%.4f dangling(cust=%zu, prod=%zu, city=%zu) "
+      "dup_keys=%zu rejected=%zu dirty_leftover=%zu completeness=%.4f",
+      fact_rows, NullFraction(), dangling_customer_refs,
+      dangling_product_refs, dangling_city_refs, duplicate_fact_keys,
+      rejected_messages, dirty_leftover_cdb, Completeness());
+}
+
+Result<DataQualityReport> AssessDataQuality(Scenario* scenario) {
+  DataQualityReport report;
+
+  DIP_ASSIGN_OR_RETURN(Database * dwh, scenario->db("dwh_db"));
+  DIP_ASSIGN_OR_RETURN(Table * orders, dwh->GetTable("orders"));
+  DIP_ASSIGN_OR_RETURN(Table * customer, dwh->GetTable("customer"));
+  DIP_ASSIGN_OR_RETURN(Table * product, dwh->GetTable("product"));
+  DIP_ASSIGN_OR_RETURN(Table * city, dwh->GetTable("city"));
+
+  report.fact_rows = orders->size();
+  const Schema& schema = orders->schema();
+  size_t c_custkey = *schema.IndexOf("custkey");
+  size_t c_prodkey = *schema.IndexOf("prodkey");
+  size_t c_citykey = *schema.IndexOf("citykey");
+  size_t c_orderkey = *schema.IndexOf("orderkey");
+  size_t c_source = *schema.IndexOf("source");
+
+  std::set<std::pair<int64_t, std::string>> seen_keys;
+  orders->ForEach([&](const Row& r) {
+    report.total_cells += r.size();
+    for (const Value& v : r) {
+      if (v.is_null()) ++report.null_cells;
+    }
+    if (!r[c_custkey].is_null() &&
+        !customer->ContainsKey({r[c_custkey]})) {
+      ++report.dangling_customer_refs;
+    }
+    if (!r[c_prodkey].is_null() && !product->ContainsKey({r[c_prodkey]})) {
+      ++report.dangling_product_refs;
+    }
+    if (!r[c_citykey].is_null() && !city->ContainsKey({r[c_citykey]})) {
+      ++report.dangling_city_refs;
+    }
+    if (!r[c_orderkey].is_null() && !r[c_source].is_null()) {
+      auto key = std::make_pair(r[c_orderkey].AsInt(),
+                                r[c_source].AsString());
+      if (!seen_keys.insert(key).second) ++report.duplicate_fact_keys;
+    }
+  });
+
+  DIP_ASSIGN_OR_RETURN(Database * cdb, scenario->db("cdb_db"));
+  DIP_ASSIGN_OR_RETURN(Table * failed, cdb->GetTable("failed_data"));
+  report.rejected_messages = failed->size();
+  DIP_ASSIGN_OR_RETURN(Table * cdb_orders, cdb->GetTable("orders"));
+  cdb_orders->ForEach([&](const Row& r) {
+    if (r[9].AsBool()) ++report.dirty_leftover_cdb;
+  });
+  return report;
+}
+
+}  // namespace dipbench

@@ -1,0 +1,54 @@
+#ifndef DIPBENCH_DIPBENCH_QUALITY_H_
+#define DIPBENCH_DIPBENCH_QUALITY_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/dipbench/scenario.h"
+
+namespace dipbench {
+
+/// Data-quality assessment of the integrated warehouse — the paper's
+/// future-work direction "we want to enhance the benchmark by integrating
+/// quality and semantic issues". Run after a benchmark (post phase) to
+/// quantify what the cleansing pipeline achieved.
+struct DataQualityReport {
+  // Volume.
+  size_t fact_rows = 0;
+
+  // Completeness: share of NULL cells in the fact table.
+  size_t null_cells = 0;
+  size_t total_cells = 0;
+  double NullFraction() const {
+    return total_cells == 0
+               ? 0.0
+               : static_cast<double>(null_cells) / total_cells;
+  }
+
+  // Referential integrity of the snowflake.
+  size_t dangling_customer_refs = 0;
+  size_t dangling_product_refs = 0;
+  size_t dangling_city_refs = 0;
+
+  // Uniqueness (must be 0 — the PK enforces it; counted independently).
+  size_t duplicate_fact_keys = 0;
+
+  // Losses on the way in.
+  size_t rejected_messages = 0;   ///< P10's failed-data destination
+  size_t dirty_leftover_cdb = 0;  ///< unrepairable rows parked in the CDB
+
+  /// fact_rows / (fact_rows + rejected + dirty leftover).
+  double Completeness() const {
+    size_t denom = fact_rows + rejected_messages + dirty_leftover_cdb;
+    return denom == 0 ? 1.0 : static_cast<double>(fact_rows) / denom;
+  }
+
+  std::string ToString() const;
+};
+
+/// Walks the DWH fact table, the dimension tables and the CDB leftovers.
+Result<DataQualityReport> AssessDataQuality(Scenario* scenario);
+
+}  // namespace dipbench
+
+#endif  // DIPBENCH_DIPBENCH_QUALITY_H_

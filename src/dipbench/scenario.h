@@ -1,0 +1,92 @@
+#ifndef DIPBENCH_DIPBENCH_SCENARIO_H_
+#define DIPBENCH_DIPBENCH_SCENARIO_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/net/endpoint.h"
+#include "src/storage/database.h"
+
+namespace dipbench {
+
+/// The complete external-system landscape of the benchmark (paper Fig. 1,
+/// machine "ES"): eleven database instances plus three Web services.
+///
+/// Region Europe
+///   * berlin / paris — two endpoints over ONE database instance
+///     (eu_berlin_paris); rows carry a `location` column.
+///   * trondheim — its own database.
+///   (The applications Vienna and MDM_Europe are message *sources*; they
+///   live in the Client, not here.)
+/// Region Asia
+///   * beijing / seoul / hongkong — Web-service endpoints; every result
+///     marshals through the generic XML result set.
+/// Region America
+///   * chicago / baltimore / madison — TPC-H-style sources.
+///   * us_eastcoast — the local consolidated database (two-phase flow).
+/// Targets
+///   * cdb ("Sales_Cleaning") — the staging area with cleansing procedures.
+///   * dwh — the snowflake warehouse with the OrdersMV materialized view.
+///   * dm_europe / dm_asia / dm_united_states — location-partitioned marts
+///     with per-mart denormalization.
+class Scenario {
+ public:
+  /// Builds every database, endpoint, query/update operation and stored
+  /// procedure. Deterministic; no data is generated here (see Initializer).
+  static Result<std::unique_ptr<Scenario>> Create();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  net::Network* network() { return &network_; }
+
+  /// Direct database access (initializer, verifier, tests).
+  Result<Database*> db(const std::string& name);
+
+  /// All database instance names.
+  std::vector<std::string> DatabaseNames() const;
+
+  /// Clears the *content* of every external system — the per-period
+  /// "uninitialize all external systems" step (schemas survive).
+  void UninitializeAll();
+
+  /// Names of the endpoints that P02 routes master data to.
+  static const char* kBerlin;
+  static const char* kParis;
+  static const char* kTrondheim;
+  static const char* kBeijing;
+  static const char* kSeoul;
+  static const char* kHongkong;
+  static const char* kChicago;
+  static const char* kBaltimore;
+  static const char* kMadison;
+  static const char* kUsEastcoast;
+  static const char* kCdb;
+  static const char* kDwh;
+  static const char* kDmEurope;
+  static const char* kDmAsia;
+  static const char* kDmUnitedStates;
+
+ private:
+  Scenario() = default;
+
+  Status Build();
+  Status BuildEurope();
+  Status BuildAsia();
+  Status BuildAmerica();
+  Status BuildCdb();
+  Status BuildDwh();
+  Status BuildDataMarts();
+
+  Database* AddDb(const std::string& name);
+
+  std::map<std::string, std::unique_ptr<Database>> dbs_;
+  net::Network network_;
+};
+
+}  // namespace dipbench
+
+#endif  // DIPBENCH_DIPBENCH_SCENARIO_H_

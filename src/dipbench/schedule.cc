@@ -1,0 +1,48 @@
+#include "src/dipbench/schedule.h"
+
+#include <cmath>
+
+namespace dipbench {
+
+int Schedule::InstanceCount(const std::string& process_id, int k, double d) {
+  if (process_id == "P01") {
+    return static_cast<int>(std::floor((100.0 - k) * d / 5.0)) + 1;
+  }
+  if (process_id == "P02") {
+    return static_cast<int>(std::floor((100.0 - k) * d / 10.0)) + 1;
+  }
+  if (process_id == "P04") return static_cast<int>(std::floor(1100 * d)) + 1;
+  if (process_id == "P08") return static_cast<int>(std::floor(900 * d)) + 1;
+  if (process_id == "P10") return static_cast<int>(std::floor(1050 * d)) + 1;
+  return 1;  // single execution per period
+}
+
+std::vector<double> Schedule::SeriesTu(const std::string& process_id, int k,
+                                       double d) {
+  int n = InstanceCount(process_id, k, d);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int m = 1; m <= n; ++m) {
+    if (process_id == "P01") {
+      out.push_back(2.0 * (m - 1));
+    } else if (process_id == "P02") {
+      out.push_back(2.0 * m);
+    } else if (process_id == "P04") {
+      out.push_back(2.0 * (m - 1));
+    } else if (process_id == "P08") {
+      out.push_back(2000.0 + 3.0 * (m - 1));
+    } else if (process_id == "P10") {
+      out.push_back(3000.0 + 2.5 * (m - 1));
+    } else {
+      out.push_back(0.0);
+    }
+  }
+  return out;
+}
+
+double Schedule::SeriesEndTu(const std::string& process_id, int k, double d) {
+  auto series = SeriesTu(process_id, k, d);
+  return series.empty() ? 0.0 : series.back();
+}
+
+}  // namespace dipbench

@@ -1,0 +1,514 @@
+#include "src/dipbench/schemas.h"
+
+namespace dipbench {
+namespace schemas {
+
+// ---------------------------------------------------------------------------
+// Region Europe: self-defined, normalized schema with German attribute
+// names — syntactic heterogeneity against every other region.
+// ---------------------------------------------------------------------------
+
+Schema EuropeCustomer() {
+  Schema s;
+  s.AddColumn("kdnr", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString)
+      .AddColumn("stadt", DataType::kString)
+      .AddColumn("land", DataType::kString)
+      .AddColumn("prio", DataType::kInt64)  // 1 / 2 / 3
+      .SetPrimaryKey({"kdnr"});
+  return s;
+}
+
+Schema EuropeProduct() {
+  Schema s;
+  s.AddColumn("pnr", DataType::kInt64, false)
+      .AddColumn("bezeichnung", DataType::kString)
+      .AddColumn("gruppe", DataType::kString)
+      .AddColumn("linie", DataType::kString)
+      .SetPrimaryKey({"pnr"});
+  return s;
+}
+
+Schema EuropeOrders() {
+  Schema s;
+  s.AddColumn("anr", DataType::kInt64, false)
+      .AddColumn("kdnr", DataType::kInt64, false)
+      .AddColumn("datum", DataType::kDate)
+      .AddColumn("status", DataType::kString)  // OFFEN / GELIEFERT / STORNO
+      .AddColumn("location", DataType::kString)  // berlin / paris / trondheim
+      .SetPrimaryKey({"anr"});
+  return s;
+}
+
+Schema EuropeOrderline() {
+  Schema s;
+  s.AddColumn("anr", DataType::kInt64, false)
+      .AddColumn("pos", DataType::kInt64, false)
+      .AddColumn("pnr", DataType::kInt64, false)
+      .AddColumn("menge", DataType::kInt64)
+      .AddColumn("preis", DataType::kDouble)
+      .SetPrimaryKey({"anr", "pos"});
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Region Asia: generic result-set schemas hidden behind Web services.
+// ---------------------------------------------------------------------------
+
+Schema AsiaCustomer() {
+  Schema s;
+  s.AddColumn("custkey", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString)
+      .AddColumn("city", DataType::kString)
+      .AddColumn("nation", DataType::kString)
+      .AddColumn("priority", DataType::kString)  // H / M / L
+      .SetPrimaryKey({"custkey"});
+  return s;
+}
+
+Schema AsiaProduct() {
+  Schema s;
+  s.AddColumn("prodkey", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString)
+      .AddColumn("grp", DataType::kString)
+      .AddColumn("line", DataType::kString)
+      .SetPrimaryKey({"prodkey"});
+  return s;
+}
+
+Schema AsiaSales() {
+  Schema s;
+  s.AddColumn("orderkey", DataType::kInt64, false)
+      .AddColumn("custkey", DataType::kInt64, false)
+      .AddColumn("prodkey", DataType::kInt64, false)
+      .AddColumn("qty", DataType::kInt64)
+      .AddColumn("price", DataType::kDouble)
+      .AddColumn("odate", DataType::kDate)
+      .SetPrimaryKey({"orderkey"});
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Region America: TPC-H-style normalized schema.
+// ---------------------------------------------------------------------------
+
+Schema TpchCustomer() {
+  Schema s;
+  s.AddColumn("c_custkey", DataType::kInt64, false)
+      .AddColumn("c_name", DataType::kString)
+      .AddColumn("c_city", DataType::kString)
+      .AddColumn("c_nation", DataType::kString)
+      .AddColumn("c_prio", DataType::kString)  // URGENT / NORMAL / LOW
+      .SetPrimaryKey({"c_custkey"});
+  return s;
+}
+
+Schema TpchPart() {
+  Schema s;
+  s.AddColumn("p_partkey", DataType::kInt64, false)
+      .AddColumn("p_name", DataType::kString)
+      .AddColumn("p_group", DataType::kString)
+      .AddColumn("p_line", DataType::kString)
+      .SetPrimaryKey({"p_partkey"});
+  return s;
+}
+
+Schema TpchOrders() {
+  Schema s;
+  s.AddColumn("o_orderkey", DataType::kInt64, false)
+      .AddColumn("o_custkey", DataType::kInt64, false)
+      .AddColumn("o_orderdate", DataType::kDate)
+      .AddColumn("o_status", DataType::kString)  // O / F / P
+      .SetPrimaryKey({"o_orderkey"});
+  return s;
+}
+
+Schema TpchLineitem() {
+  Schema s;
+  s.AddColumn("l_orderkey", DataType::kInt64, false)
+      .AddColumn("l_linenumber", DataType::kInt64, false)
+      .AddColumn("l_partkey", DataType::kInt64, false)
+      .AddColumn("l_qty", DataType::kInt64)
+      .AddColumn("l_price", DataType::kDouble)
+      .SetPrimaryKey({"l_orderkey", "l_linenumber"});
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Consolidated database / data warehouse (snowflake).
+// ---------------------------------------------------------------------------
+
+Schema CdbCustomer() {
+  Schema s;
+  s.AddColumn("custkey", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString)
+      .AddColumn("citykey", DataType::kInt64)
+      .AddColumn("priority", DataType::kString)  // HIGH / MEDIUM / LOW
+      .AddColumn("dirty", DataType::kBool)
+      .AddColumn("integrated", DataType::kBool)
+      .SetPrimaryKey({"custkey"});
+  return s;
+}
+
+Schema CdbProduct() {
+  Schema s;
+  s.AddColumn("prodkey", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString)
+      .AddColumn("groupkey", DataType::kInt64)
+      .AddColumn("dirty", DataType::kBool)
+      .AddColumn("integrated", DataType::kBool)
+      .SetPrimaryKey({"prodkey"});
+  return s;
+}
+
+Schema ProductGroup() {
+  Schema s;
+  s.AddColumn("groupkey", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString)
+      .AddColumn("linekey", DataType::kInt64)
+      .SetPrimaryKey({"groupkey"});
+  return s;
+}
+
+Schema ProductLine() {
+  Schema s;
+  s.AddColumn("linekey", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString)
+      .SetPrimaryKey({"linekey"});
+  return s;
+}
+
+Schema City() {
+  Schema s;
+  s.AddColumn("citykey", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString)
+      .AddColumn("nationkey", DataType::kInt64)
+      .SetPrimaryKey({"citykey"});
+  return s;
+}
+
+Schema Nation() {
+  Schema s;
+  s.AddColumn("nationkey", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString)
+      .AddColumn("regionkey", DataType::kInt64)
+      .SetPrimaryKey({"nationkey"});
+  return s;
+}
+
+Schema Region() {
+  Schema s;
+  s.AddColumn("regionkey", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString)
+      .SetPrimaryKey({"regionkey"});
+  return s;
+}
+
+Schema CdbOrders() {
+  Schema s;
+  s.AddColumn("orderkey", DataType::kInt64, false)
+      .AddColumn("custkey", DataType::kInt64)
+      .AddColumn("prodkey", DataType::kInt64)
+      .AddColumn("citykey", DataType::kInt64)
+      .AddColumn("orderdate", DataType::kDate)
+      .AddColumn("quantity", DataType::kInt64)
+      .AddColumn("price", DataType::kDouble)
+      .AddColumn("priority", DataType::kString)
+      .AddColumn("source", DataType::kString)  // originating system
+      .AddColumn("dirty", DataType::kBool)
+      .SetPrimaryKey({"orderkey", "source"});
+  return s;
+}
+
+Schema DwhCustomer() {
+  Schema s;
+  s.AddColumn("custkey", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString)
+      .AddColumn("citykey", DataType::kInt64)
+      .AddColumn("priority", DataType::kString)
+      .SetPrimaryKey({"custkey"});
+  return s;
+}
+
+Schema DwhProduct() {
+  Schema s;
+  s.AddColumn("prodkey", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString)
+      .AddColumn("groupkey", DataType::kInt64)
+      .SetPrimaryKey({"prodkey"});
+  return s;
+}
+
+Schema DwhOrders() {
+  Schema s;
+  s.AddColumn("orderkey", DataType::kInt64, false)
+      .AddColumn("custkey", DataType::kInt64)
+      .AddColumn("prodkey", DataType::kInt64)
+      .AddColumn("citykey", DataType::kInt64)
+      .AddColumn("orderdate", DataType::kDate)
+      .AddColumn("quantity", DataType::kInt64)
+      .AddColumn("price", DataType::kDouble)
+      .AddColumn("priority", DataType::kString)
+      .AddColumn("source", DataType::kString)
+      .SetPrimaryKey({"orderkey", "source"});
+  return s;
+}
+
+Schema OrdersMv() {
+  Schema s;
+  s.AddColumn("year", DataType::kInt64, false)
+      .AddColumn("month", DataType::kInt64, false)
+      .AddColumn("citykey", DataType::kInt64, false)
+      .AddColumn("revenue", DataType::kDouble)
+      .AddColumn("order_count", DataType::kInt64)
+      .SetPrimaryKey({"year", "month", "citykey"});
+  return s;
+}
+
+Schema FailedData() {
+  Schema s;
+  s.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("reason", DataType::kString)
+      .AddColumn("payload", DataType::kString)
+      .SetPrimaryKey({"id"});
+  return s;
+}
+
+Schema DmCustomerDenorm() {
+  Schema s;
+  s.AddColumn("custkey", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString)
+      .AddColumn("city", DataType::kString)
+      .AddColumn("nation", DataType::kString)
+      .AddColumn("region", DataType::kString)
+      .AddColumn("priority", DataType::kString)
+      .SetPrimaryKey({"custkey"});
+  return s;
+}
+
+Schema DmProductDenorm() {
+  Schema s;
+  s.AddColumn("prodkey", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString)
+      .AddColumn("grp", DataType::kString)
+      .AddColumn("line", DataType::kString)
+      .SetPrimaryKey({"prodkey"});
+  return s;
+}
+
+Schema DmOrders() { return DwhOrders(); }
+
+Schema StagedOrder() {
+  Schema s;
+  s.AddColumn("orderkey", DataType::kInt64, false)
+      .AddColumn("custkey", DataType::kInt64)
+      .AddColumn("prodkey", DataType::kInt64)
+      .AddColumn("orderdate", DataType::kDate)
+      .AddColumn("quantity", DataType::kInt64)
+      .AddColumn("price", DataType::kDouble)
+      .AddColumn("priority", DataType::kString)
+      .AddColumn("source", DataType::kString);
+  return s;
+}
+
+Schema StagedCustomer() {
+  Schema s;
+  s.AddColumn("custkey", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString)
+      .AddColumn("city", DataType::kString)
+      .AddColumn("priority", DataType::kString);
+  return s;
+}
+
+Schema StagedProduct() {
+  Schema s;
+  s.AddColumn("prodkey", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString)
+      .AddColumn("grp", DataType::kString);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// XSDs for business messages.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const xml::XsdSchema> ViennaOrderXsd() {
+  auto xsd = std::make_shared<xml::XsdSchema>("Bestellung");
+  xsd->Element("Bestellung",
+               xml::Container({xml::Required("Anr"), xml::Required("Kdnr"),
+                               xml::Required("Datum"),
+                               xml::Repeated("Position", 1)}));
+  xsd->Element("Anr", xml::Leaf(DataType::kInt64));
+  xsd->Element("Kdnr", xml::Leaf(DataType::kInt64));
+  xsd->Element("Datum", xml::Leaf(DataType::kDate));
+  xsd->Element("Position",
+               xml::Container({xml::Required("Pnr"), xml::Required("Menge"),
+                               xml::Required("Preis")}));
+  xsd->Element("Pnr", xml::Leaf(DataType::kInt64));
+  xsd->Element("Menge", xml::Leaf(DataType::kInt64));
+  xsd->Element("Preis", xml::Leaf(DataType::kDouble));
+  return xsd;
+}
+
+std::shared_ptr<const xml::XsdSchema> MdmCustomerXsd() {
+  auto xsd = std::make_shared<xml::XsdSchema>("KundenStamm");
+  xsd->Element("KundenStamm",
+               xml::Container({xml::Required("Kdnr"), xml::Required("Name"),
+                               xml::Required("Stadt"), xml::Required("Land"),
+                               xml::Required("Prio")}));
+  xsd->Element("Kdnr", xml::Leaf(DataType::kInt64));
+  xsd->Element("Prio", xml::Leaf(DataType::kInt64));
+  return xsd;
+}
+
+std::shared_ptr<const xml::XsdSchema> HongkongSalesXsd() {
+  auto xsd = std::make_shared<xml::XsdSchema>("sale");
+  xsd->Element("sale", xml::Container({xml::Required("orderkey"),
+                                       xml::Required("custkey"),
+                                       xml::Required("prodkey"),
+                                       xml::Required("qty"),
+                                       xml::Required("price"),
+                                       xml::Required("odate")}));
+  xsd->Element("orderkey", xml::Leaf(DataType::kInt64));
+  xsd->Element("custkey", xml::Leaf(DataType::kInt64));
+  xsd->Element("prodkey", xml::Leaf(DataType::kInt64));
+  xsd->Element("qty", xml::Leaf(DataType::kInt64));
+  xsd->Element("price", xml::Leaf(DataType::kDouble));
+  xsd->Element("odate", xml::Leaf(DataType::kDate));
+  return xsd;
+}
+
+std::shared_ptr<const xml::XsdSchema> SanDiegoOrderXsd() {
+  auto xsd = std::make_shared<xml::XsdSchema>("SDOrder");
+  xsd->Element("SDOrder",
+               xml::Container({xml::Required("OKey"), xml::Required("CKey"),
+                               xml::Required("PKey"), xml::Required("Qty"),
+                               xml::Required("Price"), xml::Required("ODate"),
+                               xml::Optional("Prio")}));
+  xsd->Element("OKey", xml::Leaf(DataType::kInt64));
+  xsd->Element("CKey", xml::Leaf(DataType::kInt64));
+  xsd->Element("PKey", xml::Leaf(DataType::kInt64));
+  xsd->Element("Qty", xml::Leaf(DataType::kInt64));
+  xsd->Element("Price", xml::Leaf(DataType::kDouble));
+  xsd->Element("ODate", xml::Leaf(DataType::kDate));
+  return xsd;
+}
+
+std::shared_ptr<const xml::XsdSchema> BeijingCustomerXsd() {
+  auto xsd = std::make_shared<xml::XsdSchema>("CustomerB");
+  xsd->Element("CustomerB",
+               xml::Container({xml::Required("CKey"), xml::Required("CName"),
+                               xml::Required("City"), xml::Required("Nation"),
+                               xml::Required("Priority")}));
+  xsd->Element("CKey", xml::Leaf(DataType::kInt64));
+  xsd->Element("Priority", xml::Leaf(DataType::kString));
+  return xsd;
+}
+
+// ---------------------------------------------------------------------------
+// STX translations.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const xml::StxTransformer> BeijingToSeoulStx() {
+  auto stx = std::make_shared<xml::StxTransformer>();
+  xml::StxRule rule;
+  rule.match = "CustomerB";
+  rule.rename_to = "CustomerS";
+  rule.field_renames = {{"CKey", "custkey"}, {"CName", "name"},
+                        {"City", "city"},   {"Nation", "nation"},
+                        {"Priority", "priority"}};
+  stx->AddRule(std::move(rule));
+  return stx;
+}
+
+std::shared_ptr<const xml::StxTransformer> MdmToEuropeStx() {
+  auto stx = std::make_shared<xml::StxTransformer>();
+  xml::StxRule rule;
+  rule.match = "KundenStamm";
+  rule.rename_to = "kunde";
+  rule.field_renames = {{"Kdnr", "kdnr"}, {"Name", "name"},
+                        {"Stadt", "stadt"}, {"Land", "land"},
+                        {"Prio", "prio"}};
+  stx->AddRule(std::move(rule));
+  return stx;
+}
+
+std::shared_ptr<const xml::StxTransformer> ViennaToCdbStx() {
+  auto stx = std::make_shared<xml::StxTransformer>();
+  xml::StxRule order;
+  order.match = "Bestellung";
+  order.rename_to = "order";
+  order.field_renames = {{"Anr", "orderkey"}, {"Kdnr", "custkey"},
+                         {"Datum", "orderdate"}, {"Prio", "priority"}};
+  order.add_fields = {{"source", "vienna"}};
+  stx->AddRule(std::move(order));
+  xml::StxRule line;
+  line.match = "Position";
+  line.rename_to = "line";
+  line.field_renames = {{"Pnr", "prodkey"}, {"Menge", "quantity"},
+                        {"Preis", "price"}};
+  stx->AddRule(std::move(line));
+  return stx;
+}
+
+std::shared_ptr<const xml::StxTransformer> HongkongToCdbStx() {
+  auto stx = std::make_shared<xml::StxTransformer>();
+  xml::StxRule rule;
+  rule.match = "sale";
+  rule.rename_to = "order";
+  rule.field_renames = {{"qty", "quantity"}, {"odate", "orderdate"}};
+  rule.add_fields = {{"source", "hongkong"}};
+  stx->AddRule(std::move(rule));
+  return stx;
+}
+
+namespace {
+
+/// The Asia result-set rows carry H/M/L priorities; the CDB speaks
+/// HIGH/MEDIUM/LOW — a semantic heterogeneity resolved in the translation.
+std::map<std::string, std::string> AsiaPriorityMap() {
+  return {{"H", "HIGH"}, {"M", "MEDIUM"}, {"L", "LOW"}};
+}
+
+}  // namespace
+
+std::shared_ptr<const xml::StxTransformer> BeijingToCdbStx() {
+  auto stx = std::make_shared<xml::StxTransformer>();
+  xml::StxRule rule;
+  rule.match = "row";
+  rule.field_renames = {{"qty", "quantity"}, {"odate", "orderdate"}};
+  rule.value_maps = {{"priority", AsiaPriorityMap()}};
+  rule.add_fields = {{"source", "beijing"}};
+  stx->AddRule(std::move(rule));
+  return stx;
+}
+
+std::shared_ptr<const xml::StxTransformer> SeoulToCdbStx() {
+  auto stx = std::make_shared<xml::StxTransformer>();
+  xml::StxRule rule;
+  rule.match = "row";
+  rule.field_renames = {{"qty", "quantity"}, {"odate", "orderdate"}};
+  rule.value_maps = {{"priority", AsiaPriorityMap()}};
+  rule.add_fields = {{"source", "seoul"}};
+  stx->AddRule(std::move(rule));
+  return stx;
+}
+
+std::shared_ptr<const xml::StxTransformer> SanDiegoToCdbStx() {
+  auto stx = std::make_shared<xml::StxTransformer>();
+  xml::StxRule rule;
+  rule.match = "SDOrder";
+  rule.rename_to = "order";
+  rule.field_renames = {{"OKey", "orderkey"}, {"CKey", "custkey"},
+                        {"PKey", "prodkey"},  {"Qty", "quantity"},
+                        {"Price", "price"},   {"ODate", "orderdate"},
+                        {"Prio", "priority"}};
+  rule.value_maps = {
+      {"priority", {{"U", "HIGH"}, {"N", "MEDIUM"}, {"L", "LOW"}}}};
+  rule.add_fields = {{"source", "san_diego"}};
+  stx->AddRule(std::move(rule));
+  return stx;
+}
+
+}  // namespace schemas
+}  // namespace dipbench

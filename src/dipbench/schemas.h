@@ -1,0 +1,90 @@
+#ifndef DIPBENCH_DIPBENCH_SCHEMAS_H_
+#define DIPBENCH_DIPBENCH_SCHEMAS_H_
+
+#include <memory>
+
+#include "src/types/schema.h"
+#include "src/xml/stx.h"
+#include "src/xml/xsd.h"
+
+namespace dipbench {
+namespace schemas {
+
+/// Schema factories for every system of the scenario (paper Section III-B).
+/// Regions deliberately differ syntactically and semantically:
+///  * Europe: self-defined, normalized OLTP schema (Fig. 2) — German-ish
+///    attribute names, priority encoded 1/2/3.
+///  * Asia: generic result-set shape behind Web services — lowercase names,
+///    priority encoded H/M/L.
+///  * America: TPC-H-style normalized schema — p_/c_/o_ prefixes, priority
+///    URGENT/NORMAL/LOW.
+///  * CDB and DWH: the consolidated snowflake schema of Fig. 3 (the CDB has
+///    staging flags; the DWH adds the materialized view OrdersMV).
+///  * Data marts: per-mart denormalization (Europe: product + location
+///    denormalized; Asia: product only; United_States: location only).
+
+// --- Region Europe (normalized, Fig. 2) ---
+Schema EuropeCustomer();   ///< kunde: kdnr, name, stadt, land, prio (1/2/3)
+Schema EuropeProduct();    ///< produkt: pnr, bezeichnung, gruppe, linie
+Schema EuropeOrders();     ///< auftrag: anr, kdnr, datum, status, location
+Schema EuropeOrderline();  ///< position: anr, pos, pnr, menge, preis
+
+// --- Region Asia (generic result sets) ---
+Schema AsiaCustomer();  ///< custkey, name, city, nation, priority (H/M/L)
+Schema AsiaProduct();   ///< prodkey, name, grp, line
+Schema AsiaSales();     ///< orderkey, custkey, prodkey, qty, price, odate
+
+// --- Region America (TPC-H style) ---
+Schema TpchCustomer();  ///< c_custkey, c_name, c_city, c_nation, c_prio
+Schema TpchPart();      ///< p_partkey, p_name, p_group, p_line
+Schema TpchOrders();    ///< o_orderkey, o_custkey, o_orderdate, o_status
+Schema TpchLineitem();  ///< l_orderkey, l_linenumber, l_partkey, l_qty, l_price
+
+// --- Consolidated database / data warehouse (snowflake, Fig. 3) ---
+Schema CdbCustomer();   ///< custkey, name, citykey, priority, dirty, integrated
+Schema CdbProduct();    ///< prodkey, name, groupkey, dirty, integrated
+Schema ProductGroup();  ///< groupkey, name, linekey
+Schema ProductLine();   ///< linekey, name
+Schema City();          ///< citykey, name, nationkey
+Schema Nation();        ///< nationkey, name, regionkey
+Schema Region();        ///< regionkey, name
+Schema CdbOrders();     ///< orderkey, custkey, prodkey, citykey, orderdate,
+                        ///< quantity, price, priority, source, dirty
+Schema DwhCustomer();   ///< custkey, name, citykey, priority
+Schema DwhProduct();    ///< prodkey, name, groupkey
+Schema DwhOrders();     ///< orderkey, custkey, prodkey, citykey, orderdate,
+                        ///< quantity, price, priority, source
+Schema OrdersMv();      ///< year, month, citykey, revenue, order_count
+Schema FailedData();    ///< id, reason, payload (P10 destinations)
+
+// --- Data marts ---
+Schema DmCustomerDenorm();  ///< custkey, name, city, nation, region, priority
+Schema DmProductDenorm();   ///< prodkey, name, grp, line
+Schema DmOrders();          ///< same shape as DwhOrders
+
+// --- Staged shapes (what consolidation processes hand to the CDB loads) ---
+Schema StagedOrder();     ///< orderkey..price, priority, source (city later)
+Schema StagedCustomer();  ///< custkey, name, city(string), priority
+Schema StagedProduct();   ///< prodkey, name, grp(string)
+
+/// XSDs for the business messages (programmatic equivalents of the spec's
+/// XML schemas).
+std::shared_ptr<const xml::XsdSchema> ViennaOrderXsd();
+std::shared_ptr<const xml::XsdSchema> MdmCustomerXsd();
+std::shared_ptr<const xml::XsdSchema> HongkongSalesXsd();
+std::shared_ptr<const xml::XsdSchema> SanDiegoOrderXsd();
+std::shared_ptr<const xml::XsdSchema> BeijingCustomerXsd();
+
+/// STX translations between source schemas and the CDB schema.
+std::shared_ptr<const xml::StxTransformer> BeijingToSeoulStx();   // P01
+std::shared_ptr<const xml::StxTransformer> MdmToEuropeStx();      // P02
+std::shared_ptr<const xml::StxTransformer> ViennaToCdbStx();      // P04
+std::shared_ptr<const xml::StxTransformer> HongkongToCdbStx();    // P08
+std::shared_ptr<const xml::StxTransformer> BeijingToCdbStx();     // P09
+std::shared_ptr<const xml::StxTransformer> SeoulToCdbStx();       // P09
+std::shared_ptr<const xml::StxTransformer> SanDiegoToCdbStx();    // P10
+
+}  // namespace schemas
+}  // namespace dipbench
+
+#endif  // DIPBENCH_DIPBENCH_SCHEMAS_H_

@@ -1,0 +1,119 @@
+#include "src/dipbench/verify.h"
+
+#include <cmath>
+
+#include "src/common/string_util.h"
+#include "src/ra/query.h"
+
+namespace dipbench {
+namespace {
+
+/// Total revenue of a fact table: sum(price * coalesce(quantity, 1)).
+Result<double> FactRevenue(Table* orders) {
+  ExecContext ec;
+  DIP_ASSIGN_OR_RETURN(
+      RowSet total,
+      Query::From(orders)
+          .Where(Not(IsNull(Col("citykey"))))
+          .Select({{"rev",
+                    Mul(Col("price"),
+                        Func("coalesce", {Col("quantity"), Lit(int64_t{1})})),
+                    DataType::kDouble}})
+          .GroupBy({}, {{"revenue", AggFunc::kSum, "rev"}})
+          .Run(&ec));
+  if (total.rows.empty() || total.rows[0][0].is_null()) return 0.0;
+  return total.rows[0][0].AsDouble();
+}
+
+Result<double> MvRevenue(Table* mv) {
+  double sum = 0.0;
+  mv->ForEach([&sum](const Row& r) {
+    if (!r[3].is_null()) sum += r[3].AsDouble();
+  });
+  return sum;
+}
+
+}  // namespace
+
+std::string VerificationReport::ToString() const {
+  return StrFormat(
+      "dwh_orders=%zu dwh_mv_rows=%zu mart_orders=%zu cdb_clean_leftover=%zu "
+      "failed=%zu dwh_revenue=%.2f mv_revenue=%.2f",
+      dwh_orders, dwh_mv_rows, mart_orders_total, cdb_clean_leftover,
+      failed_messages, dwh_revenue, mv_revenue);
+}
+
+Result<VerificationReport> VerifyIntegration(Scenario* scenario) {
+  VerificationReport report;
+
+  DIP_ASSIGN_OR_RETURN(Database * dwh, scenario->db("dwh_db"));
+  DIP_ASSIGN_OR_RETURN(Table * dwh_orders, dwh->GetTable("orders"));
+  DIP_ASSIGN_OR_RETURN(Table * dwh_mv, dwh->GetTable("orders_mv"));
+  report.dwh_orders = dwh_orders->size();
+  report.dwh_mv_rows = dwh_mv->size();
+  if (report.dwh_orders == 0) {
+    return Status::ValidationError("DWH fact table is empty after the run");
+  }
+
+  // (2) MV consistency.
+  DIP_ASSIGN_OR_RETURN(report.dwh_revenue, FactRevenue(dwh_orders));
+  DIP_ASSIGN_OR_RETURN(report.mv_revenue, MvRevenue(dwh_mv));
+  if (std::fabs(report.dwh_revenue - report.mv_revenue) >
+      1e-6 * std::max(1.0, std::fabs(report.dwh_revenue))) {
+    return Status::ValidationError(
+        StrFormat("OrdersMV inconsistent: fact revenue %.4f vs MV %.4f",
+                  report.dwh_revenue, report.mv_revenue));
+  }
+
+  // (3) Delta semantics in the CDB.
+  DIP_ASSIGN_OR_RETURN(Database * cdb, scenario->db("cdb_db"));
+  DIP_ASSIGN_OR_RETURN(Table * cdb_orders, cdb->GetTable("orders"));
+  size_t clean_left = 0;
+  cdb_orders->ForEach([&clean_left](const Row& r) {
+    if (!r[9].AsBool()) ++clean_left;
+  });
+  report.cdb_clean_leftover = clean_left;
+  if (clean_left != 0) {
+    return Status::ValidationError(
+        StrFormat("%zu clean movement rows were not removed from the CDB",
+                  clean_left));
+  }
+
+  DIP_ASSIGN_OR_RETURN(Table * failed, cdb->GetTable("failed_data"));
+  report.failed_messages = failed->size();
+
+  // (4) Mart partitioning: every DWH row whose city resolves to a region
+  // must appear in exactly one mart.
+  ExecContext ec;
+  DIP_ASSIGN_OR_RETURN(
+      RowSet regioned,
+      Query::From(dwh_orders)
+          .Join(Query::From(*dwh->GetTable("city")), {"citykey"}, {"citykey"})
+          .Run(&ec));
+  size_t expected_mart_rows = regioned.rows.size();
+
+  const char* marts[] = {"dm_europe_db", "dm_asia_db", "dm_united_states_db"};
+  for (const char* mart_name : marts) {
+    DIP_ASSIGN_OR_RETURN(Database * mart, scenario->db(mart_name));
+    DIP_ASSIGN_OR_RETURN(Table * orders, mart->GetTable("orders"));
+    DIP_ASSIGN_OR_RETURN(Table * mv, mart->GetTable("orders_mv"));
+    report.mart_orders_total += orders->size();
+    // (5) Per-mart MV consistency.
+    DIP_ASSIGN_OR_RETURN(double fact_rev, FactRevenue(orders));
+    DIP_ASSIGN_OR_RETURN(double mv_rev, MvRevenue(mv));
+    if (std::fabs(fact_rev - mv_rev) >
+        1e-6 * std::max(1.0, std::fabs(fact_rev))) {
+      return Status::ValidationError(
+          StrFormat("%s MV inconsistent: %.4f vs %.4f", mart_name, fact_rev,
+                    mv_rev));
+    }
+  }
+  if (report.mart_orders_total != expected_mart_rows) {
+    return Status::ValidationError(
+        StrFormat("marts hold %zu order rows, expected %zu",
+                  report.mart_orders_total, expected_mart_rows));
+  }
+  return report;
+}
+
+}  // namespace dipbench

@@ -1,0 +1,37 @@
+#ifndef DIPBENCH_DIPBENCH_VERIFY_H_
+#define DIPBENCH_DIPBENCH_VERIFY_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/dipbench/scenario.h"
+
+namespace dipbench {
+
+/// Outcome of the post-phase functional verification (paper Fig. 6:
+/// "Benchmark Verification"). Counts refer to the state after the final
+/// benchmark period.
+struct VerificationReport {
+  size_t dwh_orders = 0;
+  size_t dwh_mv_rows = 0;
+  size_t mart_orders_total = 0;
+  size_t cdb_clean_leftover = 0;   ///< must be 0 (P13 removes clean rows)
+  size_t failed_messages = 0;      ///< P10 failed-data destination
+  double dwh_revenue = 0.0;        ///< straight from the fact table
+  double mv_revenue = 0.0;         ///< aggregated in OrdersMV
+
+  std::string ToString() const;
+};
+
+/// Checks the functional correctness of the integrated data:
+///  1. the DWH fact table is non-empty and every row resolves its city;
+///  2. OrdersMV is consistent with the fact table (same total revenue);
+///  3. clean movement data was removed from the CDB (delta semantics);
+///  4. the marts partition the warehouse: mart order rows sum to the number
+///     of DWH rows with a resolvable region;
+///  5. every mart's MV matches its own fact partition.
+Result<VerificationReport> VerifyIntegration(Scenario* scenario);
+
+}  // namespace dipbench
+
+#endif  // DIPBENCH_DIPBENCH_VERIFY_H_

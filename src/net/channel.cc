@@ -1,0 +1,21 @@
+#include "src/net/channel.h"
+
+namespace dipbench {
+namespace net {
+
+double Channel::TransferCost(size_t bytes) {
+  double cost = model_.fixed_ms / 2.0 +
+                model_.per_kb_ms * (static_cast<double>(bytes) / 1024.0);
+  if (model_.jitter_frac > 0.0) {
+    double j = rng_.NextDoubleIn(-model_.jitter_frac, model_.jitter_frac);
+    cost *= (1.0 + j);
+  }
+  return cost;
+}
+
+double Channel::RoundTripCost(size_t request_bytes, size_t response_bytes) {
+  return TransferCost(request_bytes) + TransferCost(response_bytes);
+}
+
+}  // namespace net
+}  // namespace dipbench

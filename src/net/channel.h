@@ -1,0 +1,63 @@
+#ifndef DIPBENCH_NET_CHANNEL_H_
+#define DIPBENCH_NET_CHANNEL_H_
+
+#include <cstdint>
+
+#include "src/common/random.h"
+
+namespace dipbench {
+namespace net {
+
+/// Deterministic latency model for a simulated network link. The paper's
+/// reference setup connected the three machines over a wireless network;
+/// our model charges a fixed per-message latency plus a per-kilobyte
+/// transfer cost, with optional multiplicative jitter drawn from a seeded
+/// PRNG so runs remain reproducible.
+struct LatencyModel {
+  double fixed_ms = 2.0;     ///< Per-message round-trip base latency.
+  double per_kb_ms = 0.25;   ///< Transfer cost per kilobyte of payload.
+  double jitter_frac = 0.0;  ///< +/- fraction of the cost (0 = none).
+};
+
+/// A point-to-point link that prices message exchanges.
+class Channel {
+ public:
+  Channel() : Channel(LatencyModel{}, 0) {}
+  Channel(LatencyModel model, uint64_t seed) : model_(model), rng_(seed) {}
+
+  const LatencyModel& model() const { return model_; }
+
+  /// Communication cost in virtual milliseconds for shipping `bytes` of
+  /// payload one way (request or response).
+  double TransferCost(size_t bytes);
+
+  /// Cost of a full round trip: request bytes out, response bytes back.
+  double RoundTripCost(size_t request_bytes, size_t response_bytes);
+
+ private:
+  LatencyModel model_;
+  Rng rng_;
+};
+
+/// Cumulative network-side statistics collected per process instance; the
+/// cost model maps `comm_ms` to the paper's communication-cost category
+/// C_c(p) ("time waiting for external systems: network delay and external
+/// processing costs").
+struct NetStats {
+  double comm_ms = 0.0;       ///< Simulated communication + external time.
+  uint64_t bytes = 0;         ///< Payload bytes shipped.
+  uint64_t rows = 0;          ///< Rows crossing the wire.
+  uint64_t interactions = 0;  ///< Round trips performed.
+
+  void Add(const NetStats& other) {
+    comm_ms += other.comm_ms;
+    bytes += other.bytes;
+    rows += other.rows;
+    interactions += other.interactions;
+  }
+};
+
+}  // namespace net
+}  // namespace dipbench
+
+#endif  // DIPBENCH_NET_CHANNEL_H_

@@ -1,0 +1,367 @@
+#include "src/ra/expr.h"
+
+#include <cmath>
+
+#include "src/common/string_util.h"
+
+namespace dipbench {
+namespace {
+
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value v) : value_(std::move(v)) {}
+  Result<Value> Eval(const Row&, const Schema&) const override {
+    return value_;
+  }
+  std::string ToString() const override {
+    return value_.type() == DataType::kString ? "'" + value_.ToString() + "'"
+                                              : value_.ToString();
+  }
+
+ private:
+  Value value_;
+};
+
+class ColumnRefExpr : public Expr {
+ public:
+  explicit ColumnRefExpr(std::string name) : name_(std::move(name)) {}
+  Result<Value> Eval(const Row& row, const Schema& schema) const override {
+    DIP_ASSIGN_OR_RETURN(size_t idx, schema.RequireIndexOf(name_));
+    if (idx >= row.size()) return Status::Internal("row narrower than schema");
+    return row[idx];
+  }
+  std::string ToString() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class CompareExpr : public Expr {
+ public:
+  CompareExpr(CompareOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  Result<Value> Eval(const Row& row, const Schema& schema) const override {
+    DIP_ASSIGN_OR_RETURN(Value a, lhs_->Eval(row, schema));
+    DIP_ASSIGN_OR_RETURN(Value b, rhs_->Eval(row, schema));
+    // SQL-ish: comparisons against NULL are false (except handled by IsNull).
+    if (a.is_null() || b.is_null()) return Value::Bool(false);
+    int c = a.Compare(b);
+    switch (op_) {
+      case CompareOp::kEq:
+        return Value::Bool(c == 0);
+      case CompareOp::kNe:
+        return Value::Bool(c != 0);
+      case CompareOp::kLt:
+        return Value::Bool(c < 0);
+      case CompareOp::kLe:
+        return Value::Bool(c <= 0);
+      case CompareOp::kGt:
+        return Value::Bool(c > 0);
+      case CompareOp::kGe:
+        return Value::Bool(c >= 0);
+    }
+    return Status::Internal("bad compare op");
+  }
+  std::string ToString() const override {
+    static const char* kNames[] = {"=", "!=", "<", "<=", ">", ">="};
+    return "(" + lhs_->ToString() + " " + kNames[static_cast<int>(op_)] + " " +
+           rhs_->ToString() + ")";
+  }
+
+ private:
+  CompareOp op_;
+  ExprPtr lhs_, rhs_;
+};
+
+class LogicalExpr : public Expr {
+ public:
+  LogicalExpr(LogicalOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  Result<Value> Eval(const Row& row, const Schema& schema) const override {
+    DIP_ASSIGN_OR_RETURN(Value a, lhs_->Eval(row, schema));
+    bool av = !a.is_null() && a.type() == DataType::kBool && a.AsBool();
+    if (op_ == LogicalOp::kNot) return Value::Bool(!av);
+    if (op_ == LogicalOp::kAnd && !av) return Value::Bool(false);
+    if (op_ == LogicalOp::kOr && av) return Value::Bool(true);
+    DIP_ASSIGN_OR_RETURN(Value b, rhs_->Eval(row, schema));
+    bool bv = !b.is_null() && b.type() == DataType::kBool && b.AsBool();
+    return Value::Bool(bv);
+  }
+  std::string ToString() const override {
+    if (op_ == LogicalOp::kNot) return "NOT " + lhs_->ToString();
+    return "(" + lhs_->ToString() +
+           (op_ == LogicalOp::kAnd ? " AND " : " OR ") + rhs_->ToString() +
+           ")";
+  }
+
+ private:
+  LogicalOp op_;
+  ExprPtr lhs_, rhs_;
+};
+
+class ArithmeticExpr : public Expr {
+ public:
+  ArithmeticExpr(ArithmeticOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  Result<Value> Eval(const Row& row, const Schema& schema) const override {
+    DIP_ASSIGN_OR_RETURN(Value a, lhs_->Eval(row, schema));
+    DIP_ASSIGN_OR_RETURN(Value b, rhs_->Eval(row, schema));
+    if (a.is_null() || b.is_null()) return Value::Null();
+    // String + string concatenates.
+    if (op_ == ArithmeticOp::kAdd && a.type() == DataType::kString &&
+        b.type() == DataType::kString) {
+      return Value::String(a.AsString() + b.AsString());
+    }
+    // Integer arithmetic stays integral.
+    if (a.type() == DataType::kInt64 && b.type() == DataType::kInt64) {
+      int64_t x = a.AsInt(), y = b.AsInt();
+      switch (op_) {
+        case ArithmeticOp::kAdd:
+          return Value::Int(x + y);
+        case ArithmeticOp::kSub:
+          return Value::Int(x - y);
+        case ArithmeticOp::kMul:
+          return Value::Int(x * y);
+        case ArithmeticOp::kDiv:
+          if (y == 0) return Status::InvalidArgument("integer division by 0");
+          return Value::Int(x / y);
+        case ArithmeticOp::kMod:
+          if (y == 0) return Status::InvalidArgument("modulo by 0");
+          return Value::Int(x % y);
+      }
+    }
+    DIP_ASSIGN_OR_RETURN(double x, a.ToNumeric());
+    DIP_ASSIGN_OR_RETURN(double y, b.ToNumeric());
+    switch (op_) {
+      case ArithmeticOp::kAdd:
+        return Value::Double(x + y);
+      case ArithmeticOp::kSub:
+        return Value::Double(x - y);
+      case ArithmeticOp::kMul:
+        return Value::Double(x * y);
+      case ArithmeticOp::kDiv:
+        if (y == 0.0) return Status::InvalidArgument("division by 0");
+        return Value::Double(x / y);
+      case ArithmeticOp::kMod:
+        if (y == 0.0) return Status::InvalidArgument("modulo by 0");
+        return Value::Double(std::fmod(x, y));
+    }
+    return Status::Internal("bad arithmetic op");
+  }
+  std::string ToString() const override {
+    static const char* kNames[] = {"+", "-", "*", "/", "%"};
+    return "(" + lhs_->ToString() + " " + kNames[static_cast<int>(op_)] + " " +
+           rhs_->ToString() + ")";
+  }
+
+ private:
+  ArithmeticOp op_;
+  ExprPtr lhs_, rhs_;
+};
+
+class IsNullExpr : public Expr {
+ public:
+  explicit IsNullExpr(ExprPtr operand) : operand_(std::move(operand)) {}
+  Result<Value> Eval(const Row& row, const Schema& schema) const override {
+    DIP_ASSIGN_OR_RETURN(Value v, operand_->Eval(row, schema));
+    return Value::Bool(v.is_null());
+  }
+  std::string ToString() const override {
+    return operand_->ToString() + " IS NULL";
+  }
+
+ private:
+  ExprPtr operand_;
+};
+
+class InListExpr : public Expr {
+ public:
+  InListExpr(ExprPtr needle, std::vector<Value> haystack)
+      : needle_(std::move(needle)), haystack_(std::move(haystack)) {}
+  Result<Value> Eval(const Row& row, const Schema& schema) const override {
+    DIP_ASSIGN_OR_RETURN(Value v, needle_->Eval(row, schema));
+    if (v.is_null()) return Value::Bool(false);
+    for (const auto& h : haystack_) {
+      if (v.Compare(h) == 0) return Value::Bool(true);
+    }
+    return Value::Bool(false);
+  }
+  std::string ToString() const override {
+    std::vector<std::string> items;
+    for (const auto& h : haystack_) items.push_back(h.ToString());
+    return needle_->ToString() + " IN (" + StrJoin(items, ", ") + ")";
+  }
+
+ private:
+  ExprPtr needle_;
+  std::vector<Value> haystack_;
+};
+
+class FunctionExpr : public Expr {
+ public:
+  FunctionExpr(std::string name, std::vector<ExprPtr> args)
+      : name_(StrLower(name)), args_(std::move(args)) {}
+
+  Result<Value> Eval(const Row& row, const Schema& schema) const override {
+    std::vector<Value> vals;
+    vals.reserve(args_.size());
+    for (const auto& a : args_) {
+      DIP_ASSIGN_OR_RETURN(Value v, a->Eval(row, schema));
+      vals.push_back(std::move(v));
+    }
+    return Apply(vals);
+  }
+
+  std::string ToString() const override {
+    std::vector<std::string> parts;
+    for (const auto& a : args_) parts.push_back(a->ToString());
+    return name_ + "(" + StrJoin(parts, ", ") + ")";
+  }
+
+ private:
+  Result<Value> Apply(const std::vector<Value>& vals) const {
+    auto require_arity = [&](size_t n) -> Status {
+      if (vals.size() != n) {
+        return Status::InvalidArgument(name_ + " expects " +
+                                       std::to_string(n) + " args");
+      }
+      return Status::OK();
+    };
+    if (name_ == "year" || name_ == "month" || name_ == "day") {
+      DIP_RETURN_NOT_OK(require_arity(1));
+      if (vals[0].is_null()) return Value::Null();
+      Result<int64_t> part = name_ == "year"    ? vals[0].DateYear()
+                             : name_ == "month" ? vals[0].DateMonth()
+                                                : vals[0].DateDay();
+      if (!part.ok()) return part.status();
+      return Value::Int(*part);
+    }
+    if (name_ == "lower" || name_ == "upper") {
+      DIP_RETURN_NOT_OK(require_arity(1));
+      if (vals[0].is_null()) return Value::Null();
+      if (vals[0].type() != DataType::kString) {
+        return Status::TypeMismatch(name_ + " expects string");
+      }
+      std::string s = vals[0].AsString();
+      for (char& c : s) {
+        if (name_ == "lower" && c >= 'A' && c <= 'Z') c += 'a' - 'A';
+        if (name_ == "upper" && c >= 'a' && c <= 'z') c -= 'a' - 'A';
+      }
+      return Value::String(std::move(s));
+    }
+    if (name_ == "concat") {
+      std::string out;
+      for (const auto& v : vals) out += v.ToString();
+      return Value::String(std::move(out));
+    }
+    if (name_ == "substr") {
+      DIP_RETURN_NOT_OK(require_arity(3));
+      if (vals[0].is_null()) return Value::Null();
+      if (vals[0].type() != DataType::kString) {
+        return Status::TypeMismatch("substr expects string");
+      }
+      DIP_ASSIGN_OR_RETURN(int64_t pos, vals[1].ToInt());
+      DIP_ASSIGN_OR_RETURN(int64_t len, vals[2].ToInt());
+      const std::string& s = vals[0].AsString();
+      if (pos < 0 || static_cast<size_t>(pos) >= s.size() || len < 0) {
+        return Value::String("");
+      }
+      return Value::String(s.substr(pos, len));
+    }
+    if (name_ == "length") {
+      DIP_RETURN_NOT_OK(require_arity(1));
+      if (vals[0].is_null()) return Value::Null();
+      if (vals[0].type() != DataType::kString) {
+        return Status::TypeMismatch("length expects string");
+      }
+      return Value::Int(static_cast<int64_t>(vals[0].AsString().size()));
+    }
+    if (name_ == "abs") {
+      DIP_RETURN_NOT_OK(require_arity(1));
+      if (vals[0].is_null()) return Value::Null();
+      if (vals[0].type() == DataType::kInt64) {
+        return Value::Int(std::llabs(vals[0].AsInt()));
+      }
+      DIP_ASSIGN_OR_RETURN(double d, vals[0].ToNumeric());
+      return Value::Double(std::fabs(d));
+    }
+    if (name_ == "coalesce") {
+      for (const auto& v : vals) {
+        if (!v.is_null()) return v;
+      }
+      return Value::Null();
+    }
+    if (name_ == "decode") {
+      // decode(x, k1, v1, k2, v2, ..., [default]) — Oracle-style value map.
+      if (vals.size() < 3) {
+        return Status::InvalidArgument("decode needs at least 3 args");
+      }
+      size_t i = 1;
+      for (; i + 1 < vals.size(); i += 2) {
+        if (vals[0].Compare(vals[i]) == 0) return vals[i + 1];
+      }
+      // Odd remaining argument is the default.
+      if (i < vals.size()) return vals[i];
+      return Value::Null();
+    }
+    if (name_ == "hash_mod") {
+      DIP_RETURN_NOT_OK(require_arity(2));
+      DIP_ASSIGN_OR_RETURN(int64_t m, vals[1].ToInt());
+      if (m <= 0) return Status::InvalidArgument("hash_mod modulus <= 0");
+      return Value::Int(static_cast<int64_t>(vals[0].Hash() % m));
+    }
+    return Status::NotFound("unknown function " + name_);
+  }
+
+  std::string name_;
+  std::vector<ExprPtr> args_;
+};
+
+}  // namespace
+
+ExprPtr Lit(Value v) { return std::make_shared<LiteralExpr>(std::move(v)); }
+ExprPtr Lit(int64_t v) { return Lit(Value::Int(v)); }
+ExprPtr Lit(double v) { return Lit(Value::Double(v)); }
+ExprPtr Lit(const char* v) { return Lit(Value::String(v)); }
+ExprPtr Col(std::string name) {
+  return std::make_shared<ColumnRefExpr>(std::move(name));
+}
+ExprPtr Cmp(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<CompareExpr>(op, std::move(lhs), std::move(rhs));
+}
+ExprPtr Eq(ExprPtr l, ExprPtr r) { return Cmp(CompareOp::kEq, l, r); }
+ExprPtr Ne(ExprPtr l, ExprPtr r) { return Cmp(CompareOp::kNe, l, r); }
+ExprPtr Lt(ExprPtr l, ExprPtr r) { return Cmp(CompareOp::kLt, l, r); }
+ExprPtr Le(ExprPtr l, ExprPtr r) { return Cmp(CompareOp::kLe, l, r); }
+ExprPtr Gt(ExprPtr l, ExprPtr r) { return Cmp(CompareOp::kGt, l, r); }
+ExprPtr Ge(ExprPtr l, ExprPtr r) { return Cmp(CompareOp::kGe, l, r); }
+ExprPtr And(ExprPtr l, ExprPtr r) {
+  return std::make_shared<LogicalExpr>(LogicalOp::kAnd, std::move(l),
+                                       std::move(r));
+}
+ExprPtr Or(ExprPtr l, ExprPtr r) {
+  return std::make_shared<LogicalExpr>(LogicalOp::kOr, std::move(l),
+                                       std::move(r));
+}
+ExprPtr Not(ExprPtr operand) {
+  return std::make_shared<LogicalExpr>(LogicalOp::kNot, std::move(operand),
+                                       nullptr);
+}
+ExprPtr Arith(ArithmeticOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<ArithmeticExpr>(op, std::move(lhs), std::move(rhs));
+}
+ExprPtr Add(ExprPtr l, ExprPtr r) { return Arith(ArithmeticOp::kAdd, l, r); }
+ExprPtr Sub(ExprPtr l, ExprPtr r) { return Arith(ArithmeticOp::kSub, l, r); }
+ExprPtr Mul(ExprPtr l, ExprPtr r) { return Arith(ArithmeticOp::kMul, l, r); }
+ExprPtr Div(ExprPtr l, ExprPtr r) { return Arith(ArithmeticOp::kDiv, l, r); }
+ExprPtr IsNull(ExprPtr operand) {
+  return std::make_shared<IsNullExpr>(std::move(operand));
+}
+ExprPtr InList(ExprPtr needle, std::vector<Value> haystack) {
+  return std::make_shared<InListExpr>(std::move(needle), std::move(haystack));
+}
+ExprPtr Func(std::string name, std::vector<ExprPtr> args) {
+  return std::make_shared<FunctionExpr>(std::move(name), std::move(args));
+}
+
+}  // namespace dipbench

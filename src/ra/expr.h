@@ -1,0 +1,84 @@
+#ifndef DIPBENCH_RA_EXPR_H_
+#define DIPBENCH_RA_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/types/schema.h"
+#include "src/types/value.h"
+
+namespace dipbench {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Expression node kinds.
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kCompare,     // = != < <= > >=
+  kLogical,     // AND OR NOT
+  kArithmetic,  // + - * /  (numeric) and string concatenation for +
+  kIsNull,
+  kInList,
+  kFunction,  // named scalar function
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicalOp { kAnd, kOr, kNot };
+enum class ArithmeticOp { kAdd, kSub, kMul, kDiv, kMod };
+
+/// An immutable expression tree evaluated against (row, schema) pairs.
+/// Column references are by name and resolved per evaluation against the
+/// input schema — simple and adequate for the table widths this engine uses.
+///
+/// Supported scalar functions (paper needs: time-dimension extraction,
+/// simple renaming/derivation in projections and validations):
+///   year(d), month(d), day(d)     — date component extraction
+///   lower(s), upper(s)            — ASCII casing
+///   concat(a, b, ...)             — string concatenation
+///   substr(s, pos, len)           — 0-based substring
+///   length(s)                     — string length
+///   abs(x)                        — numeric absolute value
+///   coalesce(a, b, ...)           — first non-NULL
+///   decode(x, k1, v1, ..., [dft]) — Oracle-style value mapping
+///   hash_mod(x, m)                — deterministic bucketing
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Evaluates against one row. Type errors surface as Status.
+  virtual Result<Value> Eval(const Row& row, const Schema& schema) const = 0;
+  virtual std::string ToString() const = 0;
+};
+
+/// Constructors (free functions keep call sites compact).
+ExprPtr Lit(Value v);
+ExprPtr Lit(int64_t v);
+ExprPtr Lit(double v);
+ExprPtr Lit(const char* v);
+ExprPtr Col(std::string name);
+ExprPtr Cmp(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Eq(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Ne(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Lt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Le(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Gt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Ge(ExprPtr lhs, ExprPtr rhs);
+ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Not(ExprPtr operand);
+ExprPtr Arith(ArithmeticOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Add(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Sub(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Mul(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Div(ExprPtr lhs, ExprPtr rhs);
+ExprPtr IsNull(ExprPtr operand);
+ExprPtr InList(ExprPtr needle, std::vector<Value> haystack);
+ExprPtr Func(std::string name, std::vector<ExprPtr> args);
+
+}  // namespace dipbench
+
+#endif  // DIPBENCH_RA_EXPR_H_

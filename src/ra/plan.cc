@@ -1,0 +1,561 @@
+#include "src/ra/plan.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "src/common/string_util.h"
+
+namespace dipbench {
+
+size_t RowSet::ByteSize() const {
+  size_t total = 0;
+  for (const auto& r : rows) {
+    for (const auto& v : r) total += v.ByteSize();
+  }
+  return total;
+}
+
+namespace {
+
+class ScanTableNode : public PlanNode {
+ public:
+  explicit ScanTableNode(const Table* table) : table_(table) {}
+  Result<RowSet> Execute(ExecContext* ctx) const override {
+    ctx->operator_invocations++;
+    RowSet out;
+    out.schema = table_->schema();
+    out.rows = table_->ScanAll();
+    ctx->rows_processed += out.rows.size();
+    return out;
+  }
+  std::string ToString() const override {
+    return "Scan(" + table_->name() + ")";
+  }
+
+ private:
+  const Table* table_;
+};
+
+class IndexRangeScanNode : public PlanNode {
+ public:
+  IndexRangeScanNode(const Table* table, std::string index_name, Value lo,
+                     Value hi)
+      : table_(table),
+        index_name_(std::move(index_name)),
+        lo_(std::move(lo)),
+        hi_(std::move(hi)) {}
+  Result<RowSet> Execute(ExecContext* ctx) const override {
+    ctx->operator_invocations++;
+    RowSet out;
+    out.schema = table_->schema();
+    DIP_ASSIGN_OR_RETURN(out.rows, table_->LookupRange(index_name_, lo_, hi_));
+    ctx->rows_processed += out.rows.size();
+    return out;
+  }
+  std::string ToString() const override {
+    return "IndexRangeScan(" + table_->name() + "." + index_name_ + ", [" +
+           lo_.ToString() + ", " + hi_.ToString() + "])";
+  }
+
+ private:
+  const Table* table_;
+  std::string index_name_;
+  Value lo_, hi_;
+};
+
+class ScanValuesNode : public PlanNode {
+ public:
+  explicit ScanValuesNode(RowSet rows) : rows_(std::move(rows)) {}
+  Result<RowSet> Execute(ExecContext* ctx) const override {
+    ctx->operator_invocations++;
+    ctx->rows_processed += rows_.rows.size();
+    return rows_;
+  }
+  std::string ToString() const override {
+    return StrFormat("Values(%zu rows)", rows_.rows.size());
+  }
+
+ private:
+  RowSet rows_;
+};
+
+class FilterNode : public PlanNode {
+ public:
+  FilterNode(PlanPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+  Result<RowSet> Execute(ExecContext* ctx) const override {
+    DIP_ASSIGN_OR_RETURN(RowSet in, child_->Execute(ctx));
+    ctx->operator_invocations++;
+    RowSet out;
+    out.schema = in.schema;
+    for (auto& row : in.rows) {
+      ctx->rows_processed++;
+      DIP_ASSIGN_OR_RETURN(Value keep, predicate_->Eval(row, in.schema));
+      if (!keep.is_null() && keep.type() == DataType::kBool && keep.AsBool()) {
+        out.rows.push_back(std::move(row));
+      }
+    }
+    return out;
+  }
+  std::string ToString() const override {
+    return "Filter(" + predicate_->ToString() + ")";
+  }
+
+ private:
+  PlanPtr child_;
+  ExprPtr predicate_;
+};
+
+class ProjectNode : public PlanNode {
+ public:
+  ProjectNode(PlanPtr child, std::vector<ProjectionItem> items)
+      : child_(std::move(child)), items_(std::move(items)) {}
+  Result<RowSet> Execute(ExecContext* ctx) const override {
+    DIP_ASSIGN_OR_RETURN(RowSet in, child_->Execute(ctx));
+    ctx->operator_invocations++;
+    RowSet out;
+    for (const auto& item : items_) {
+      // Output column type: forced cast target, else inferred lazily below.
+      out.schema.AddColumn(item.name, item.cast_to == DataType::kNull
+                                          ? DataType::kNull
+                                          : item.cast_to);
+    }
+    out.rows.reserve(in.rows.size());
+    std::vector<DataType> inferred(items_.size(), DataType::kNull);
+    for (const auto& row : in.rows) {
+      ctx->rows_processed++;
+      Row projected;
+      projected.reserve(items_.size());
+      for (size_t i = 0; i < items_.size(); ++i) {
+        DIP_ASSIGN_OR_RETURN(Value v, items_[i].expr->Eval(row, in.schema));
+        if (items_[i].cast_to != DataType::kNull) {
+          DIP_ASSIGN_OR_RETURN(v, v.CastTo(items_[i].cast_to));
+        }
+        if (inferred[i] == DataType::kNull && !v.is_null()) {
+          inferred[i] = v.type();
+        }
+        projected.push_back(std::move(v));
+      }
+      out.rows.push_back(std::move(projected));
+    }
+    // Fill inferred types into the schema for downstream consumers.
+    Schema finalized;
+    for (size_t i = 0; i < items_.size(); ++i) {
+      DataType t = items_[i].cast_to != DataType::kNull ? items_[i].cast_to
+                                                        : inferred[i];
+      finalized.AddColumn(items_[i].name, t);
+    }
+    out.schema = finalized;
+    return out;
+  }
+  std::string ToString() const override {
+    std::vector<std::string> parts;
+    for (const auto& i : items_) {
+      parts.push_back(i.name + "=" + i.expr->ToString());
+    }
+    return "Project(" + StrJoin(parts, ", ") + ")";
+  }
+
+ private:
+  PlanPtr child_;
+  std::vector<ProjectionItem> items_;
+};
+
+class HashJoinNode : public PlanNode {
+ public:
+  HashJoinNode(PlanPtr left, PlanPtr right, std::vector<std::string> lkeys,
+               std::vector<std::string> rkeys)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        lkeys_(std::move(lkeys)),
+        rkeys_(std::move(rkeys)) {}
+
+  Result<RowSet> Execute(ExecContext* ctx) const override {
+    DIP_ASSIGN_OR_RETURN(RowSet l, left_->Execute(ctx));
+    DIP_ASSIGN_OR_RETURN(RowSet r, right_->Execute(ctx));
+    ctx->operator_invocations++;
+    if (lkeys_.size() != rkeys_.size() || lkeys_.empty()) {
+      return Status::InvalidArgument("join key arity mismatch");
+    }
+    std::vector<size_t> lidx, ridx;
+    for (const auto& k : lkeys_) {
+      DIP_ASSIGN_OR_RETURN(size_t i, l.schema.RequireIndexOf(k));
+      lidx.push_back(i);
+    }
+    for (const auto& k : rkeys_) {
+      DIP_ASSIGN_OR_RETURN(size_t i, r.schema.RequireIndexOf(k));
+      ridx.push_back(i);
+    }
+    // Build on the right side.
+    std::unordered_multimap<size_t, size_t> build;
+    build.reserve(r.rows.size());
+    for (size_t i = 0; i < r.rows.size(); ++i) {
+      ctx->rows_processed++;
+      build.emplace(HashRowKey(r.rows[i], ridx), i);
+    }
+    RowSet out;
+    out.schema = l.schema;
+    for (const auto& col : r.schema.columns()) {
+      std::string name = col.name;
+      while (out.schema.HasColumn(name)) name = "r_" + name;
+      out.schema.AddColumn(name, col.type, col.nullable);
+    }
+    for (const auto& lrow : l.rows) {
+      ctx->rows_processed++;
+      size_t h = HashRowKey(lrow, lidx);
+      auto range = build.equal_range(h);
+      for (auto it = range.first; it != range.second; ++it) {
+        const Row& rrow = r.rows[it->second];
+        bool match = true;
+        for (size_t k = 0; k < lidx.size(); ++k) {
+          if (lrow[lidx[k]].Compare(rrow[ridx[k]]) != 0 ||
+              lrow[lidx[k]].is_null()) {
+            match = false;
+            break;
+          }
+        }
+        if (!match) continue;
+        Row joined = lrow;
+        joined.insert(joined.end(), rrow.begin(), rrow.end());
+        out.rows.push_back(std::move(joined));
+      }
+    }
+    return out;
+  }
+
+  std::string ToString() const override {
+    return "HashJoin(" + StrJoin(lkeys_, ",") + " = " + StrJoin(rkeys_, ",") +
+           ")";
+  }
+
+ private:
+  PlanPtr left_, right_;
+  std::vector<std::string> lkeys_, rkeys_;
+};
+
+class UnionDistinctNode : public PlanNode {
+ public:
+  UnionDistinctNode(std::vector<PlanPtr> children,
+                    std::vector<std::string> key_columns)
+      : children_(std::move(children)), key_columns_(std::move(key_columns)) {}
+
+  Result<RowSet> Execute(ExecContext* ctx) const override {
+    if (children_.empty()) {
+      return Status::InvalidArgument("UNION of zero inputs");
+    }
+    std::vector<RowSet> inputs;
+    for (const auto& c : children_) {
+      DIP_ASSIGN_OR_RETURN(RowSet rs, c->Execute(ctx));
+      inputs.push_back(std::move(rs));
+    }
+    ctx->operator_invocations++;
+    RowSet out;
+    out.schema = inputs[0].schema;
+    std::vector<size_t> key_idx;
+    if (key_columns_.empty()) {
+      for (size_t i = 0; i < out.schema.num_columns(); ++i) {
+        key_idx.push_back(i);
+      }
+    } else {
+      for (const auto& k : key_columns_) {
+        DIP_ASSIGN_OR_RETURN(size_t i, out.schema.RequireIndexOf(k));
+        key_idx.push_back(i);
+      }
+    }
+    // Hash set over key projections with collision verification.
+    std::unordered_multimap<size_t, size_t> seen;  // hash -> out row index
+    for (auto& input : inputs) {
+      if (input.schema.num_columns() != out.schema.num_columns()) {
+        return Status::TypeMismatch("UNION input arity mismatch");
+      }
+      for (auto& row : input.rows) {
+        ctx->rows_processed++;
+        size_t h = HashRowKey(row, key_idx);
+        bool duplicate = false;
+        auto range = seen.equal_range(h);
+        for (auto it = range.first; it != range.second; ++it) {
+          const Row& prev = out.rows[it->second];
+          bool equal = true;
+          for (size_t k : key_idx) {
+            if (prev[k].Compare(row[k]) != 0) {
+              equal = false;
+              break;
+            }
+          }
+          if (equal) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) {
+          seen.emplace(h, out.rows.size());
+          out.rows.push_back(std::move(row));
+        }
+      }
+    }
+    return out;
+  }
+
+  std::string ToString() const override {
+    return StrFormat("UnionDistinct(%zu inputs, key=[%s])", children_.size(),
+                     StrJoin(key_columns_, ",").c_str());
+  }
+
+ private:
+  std::vector<PlanPtr> children_;
+  std::vector<std::string> key_columns_;
+};
+
+class AggregateNode : public PlanNode {
+ public:
+  AggregateNode(PlanPtr child, std::vector<std::string> group_by,
+                std::vector<AggregateItem> aggs)
+      : child_(std::move(child)),
+        group_by_(std::move(group_by)),
+        aggs_(std::move(aggs)) {}
+
+  Result<RowSet> Execute(ExecContext* ctx) const override {
+    DIP_ASSIGN_OR_RETURN(RowSet in, child_->Execute(ctx));
+    ctx->operator_invocations++;
+    std::vector<size_t> group_idx;
+    for (const auto& g : group_by_) {
+      DIP_ASSIGN_OR_RETURN(size_t i, in.schema.RequireIndexOf(g));
+      group_idx.push_back(i);
+    }
+    std::vector<size_t> agg_idx(aggs_.size(), SIZE_MAX);
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      if (!aggs_[i].input_column.empty()) {
+        DIP_ASSIGN_OR_RETURN(size_t idx,
+                             in.schema.RequireIndexOf(aggs_[i].input_column));
+        agg_idx[i] = idx;
+      } else if (aggs_[i].func != AggFunc::kCount) {
+        return Status::InvalidArgument("aggregate needs an input column");
+      }
+    }
+
+    struct GroupState {
+      Row key;
+      std::vector<double> sum;
+      std::vector<int64_t> count;
+      std::vector<Value> min_v, max_v;
+      std::vector<bool> all_int;
+    };
+    // Keyed by serialized group key for deterministic iteration below.
+    std::map<std::string, GroupState> groups;
+    for (const auto& row : in.rows) {
+      ctx->rows_processed++;
+      Row key;
+      for (size_t gi : group_idx) key.push_back(row[gi]);
+      std::string key_str = RowToString(key);
+      auto [it, inserted] = groups.try_emplace(key_str);
+      GroupState& st = it->second;
+      if (inserted) {
+        st.key = key;
+        st.sum.assign(aggs_.size(), 0.0);
+        st.count.assign(aggs_.size(), 0);
+        st.min_v.assign(aggs_.size(), Value::Null());
+        st.max_v.assign(aggs_.size(), Value::Null());
+        st.all_int.assign(aggs_.size(), true);
+      }
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        const Value* v = agg_idx[a] == SIZE_MAX ? nullptr : &row[agg_idx[a]];
+        if (aggs_[a].func == AggFunc::kCount) {
+          if (v == nullptr || !v->is_null()) st.count[a]++;
+          continue;
+        }
+        if (v == nullptr || v->is_null()) continue;
+        DIP_ASSIGN_OR_RETURN(double num, v->ToNumeric());
+        st.sum[a] += num;
+        st.count[a]++;
+        if (v->type() != DataType::kInt64) st.all_int[a] = false;
+        if (st.min_v[a].is_null() || v->Compare(st.min_v[a]) < 0) {
+          st.min_v[a] = *v;
+        }
+        if (st.max_v[a].is_null() || v->Compare(st.max_v[a]) > 0) {
+          st.max_v[a] = *v;
+        }
+      }
+    }
+
+    RowSet out;
+    for (size_t g = 0; g < group_by_.size(); ++g) {
+      const Column& c = in.schema.column(group_idx[g]);
+      out.schema.AddColumn(group_by_[g], c.type, c.nullable);
+    }
+    for (const auto& a : aggs_) {
+      DataType t = a.func == AggFunc::kCount ? DataType::kInt64
+                   : a.func == AggFunc::kAvg ? DataType::kDouble
+                                             : DataType::kNull;
+      out.schema.AddColumn(a.output_name, t);
+    }
+    for (const auto& [key_str, st] : groups) {
+      Row row = st.key;
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        switch (aggs_[a].func) {
+          case AggFunc::kCount:
+            row.push_back(Value::Int(st.count[a]));
+            break;
+          case AggFunc::kSum:
+            row.push_back(st.count[a] == 0 ? Value::Null()
+                          : st.all_int[a]
+                              ? Value::Int(static_cast<int64_t>(st.sum[a]))
+                              : Value::Double(st.sum[a]));
+            break;
+          case AggFunc::kAvg:
+            row.push_back(st.count[a] == 0
+                              ? Value::Null()
+                              : Value::Double(st.sum[a] / st.count[a]));
+            break;
+          case AggFunc::kMin:
+            row.push_back(st.min_v[a]);
+            break;
+          case AggFunc::kMax:
+            row.push_back(st.max_v[a]);
+            break;
+        }
+      }
+      out.rows.push_back(std::move(row));
+    }
+    return out;
+  }
+
+  std::string ToString() const override {
+    return StrFormat("Aggregate(group=[%s], %zu aggs)",
+                     StrJoin(group_by_, ",").c_str(), aggs_.size());
+  }
+
+ private:
+  PlanPtr child_;
+  std::vector<std::string> group_by_;
+  std::vector<AggregateItem> aggs_;
+};
+
+class SortNode : public PlanNode {
+ public:
+  SortNode(PlanPtr child, std::vector<SortKey> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+  Result<RowSet> Execute(ExecContext* ctx) const override {
+    DIP_ASSIGN_OR_RETURN(RowSet in, child_->Execute(ctx));
+    ctx->operator_invocations++;
+    ctx->rows_processed += in.rows.size();
+    std::vector<size_t> idx;
+    std::vector<bool> asc;
+    for (const auto& k : keys_) {
+      DIP_ASSIGN_OR_RETURN(size_t i, in.schema.RequireIndexOf(k.column));
+      idx.push_back(i);
+      asc.push_back(k.ascending);
+    }
+    std::stable_sort(in.rows.begin(), in.rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       for (size_t k = 0; k < idx.size(); ++k) {
+                         int c = a[idx[k]].Compare(b[idx[k]]);
+                         if (c != 0) return asc[k] ? c < 0 : c > 0;
+                       }
+                       return false;
+                     });
+    return in;
+  }
+  std::string ToString() const override {
+    std::vector<std::string> parts;
+    for (const auto& k : keys_) {
+      parts.push_back(k.column + (k.ascending ? " ASC" : " DESC"));
+    }
+    return "Sort(" + StrJoin(parts, ", ") + ")";
+  }
+
+ private:
+  PlanPtr child_;
+  std::vector<SortKey> keys_;
+};
+
+class LimitNode : public PlanNode {
+ public:
+  LimitNode(PlanPtr child, size_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+  Result<RowSet> Execute(ExecContext* ctx) const override {
+    DIP_ASSIGN_OR_RETURN(RowSet in, child_->Execute(ctx));
+    ctx->operator_invocations++;
+    if (in.rows.size() > limit_) in.rows.resize(limit_);
+    ctx->rows_processed += in.rows.size();
+    return in;
+  }
+  std::string ToString() const override {
+    return StrFormat("Limit(%zu)", limit_);
+  }
+
+ private:
+  PlanPtr child_;
+  size_t limit_;
+};
+
+}  // namespace
+
+PlanPtr ScanTable(const Table* table) {
+  return std::make_shared<ScanTableNode>(table);
+}
+PlanPtr IndexRangeScan(const Table* table, std::string index_name, Value lo,
+                       Value hi) {
+  return std::make_shared<IndexRangeScanNode>(table, std::move(index_name),
+                                              std::move(lo), std::move(hi));
+}
+PlanPtr ScanValues(RowSet rows) {
+  return std::make_shared<ScanValuesNode>(std::move(rows));
+}
+PlanPtr Filter(PlanPtr child, ExprPtr predicate) {
+  return std::make_shared<FilterNode>(std::move(child), std::move(predicate));
+}
+PlanPtr Project(PlanPtr child, std::vector<ProjectionItem> items) {
+  return std::make_shared<ProjectNode>(std::move(child), std::move(items));
+}
+PlanPtr HashJoin(PlanPtr left, PlanPtr right,
+                 std::vector<std::string> left_keys,
+                 std::vector<std::string> right_keys) {
+  return std::make_shared<HashJoinNode>(std::move(left), std::move(right),
+                                        std::move(left_keys),
+                                        std::move(right_keys));
+}
+PlanPtr UnionDistinct(std::vector<PlanPtr> children,
+                      std::vector<std::string> key_columns) {
+  return std::make_shared<UnionDistinctNode>(std::move(children),
+                                             std::move(key_columns));
+}
+PlanPtr Distinct(PlanPtr child) {
+  std::vector<PlanPtr> children{std::move(child)};
+  return UnionDistinct(std::move(children), {});
+}
+PlanPtr Aggregate(PlanPtr child, std::vector<std::string> group_by,
+                  std::vector<AggregateItem> aggregates) {
+  return std::make_shared<AggregateNode>(std::move(child), std::move(group_by),
+                                         std::move(aggregates));
+}
+PlanPtr Sort(PlanPtr child, std::vector<SortKey> keys) {
+  return std::make_shared<SortNode>(std::move(child), std::move(keys));
+}
+PlanPtr Limit(PlanPtr child, size_t limit) {
+  return std::make_shared<LimitNode>(std::move(child), limit);
+}
+
+Result<size_t> InsertInto(Table* table, const RowSet& rows) {
+  size_t inserted = 0;
+  for (const auto& row : rows.rows) {
+    Status st = table->Insert(row);
+    if (st.ok()) {
+      ++inserted;
+    } else if (st.code() != StatusCode::kAlreadyExists) {
+      return st;
+    }
+  }
+  return inserted;
+}
+
+Result<size_t> UpsertInto(Table* table, const RowSet& rows) {
+  size_t written = 0;
+  for (const auto& row : rows.rows) {
+    DIP_RETURN_NOT_OK(table->InsertOrReplace(row));
+    ++written;
+  }
+  return written;
+}
+
+}  // namespace dipbench

@@ -1,0 +1,115 @@
+#ifndef DIPBENCH_RA_PLAN_H_
+#define DIPBENCH_RA_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/ra/expr.h"
+#include "src/storage/table.h"
+#include "src/types/schema.h"
+
+namespace dipbench {
+
+/// A materialized intermediate result: schema + rows. The engine
+/// materializes between operators — mirroring the paper's Fig. 9b, where
+/// integration processes stage data through "temporary tables (local
+/// materialization points)".
+struct RowSet {
+  Schema schema;
+  std::vector<Row> rows;
+
+  size_t size() const { return rows.size(); }
+  /// Approximate wire size, used for communication-cost accounting.
+  size_t ByteSize() const;
+};
+
+/// Execution-side counters consumed by the cost model: every operator adds
+/// the rows it touches, so processing cost is derived from work done rather
+/// than from wall-clock time (deterministic across machines).
+struct ExecContext {
+  uint64_t rows_processed = 0;
+  uint64_t operator_invocations = 0;
+};
+
+/// Base class for materializing plan operators.
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+  /// Executes the subtree and returns the materialized result.
+  virtual Result<RowSet> Execute(ExecContext* ctx) const = 0;
+  /// One-line description (operator name + parameters).
+  virtual std::string ToString() const = 0;
+};
+
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// One output column of a projection: name + defining expression (+ optional
+/// forced output type; kNull means "leave as evaluated").
+struct ProjectionItem {
+  std::string name;
+  ExprPtr expr;
+  DataType cast_to = DataType::kNull;
+};
+
+/// Aggregate function kinds for AggregateNode.
+enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
+
+struct AggregateItem {
+  std::string output_name;
+  AggFunc func = AggFunc::kCount;
+  /// Input column name; empty for COUNT(*).
+  std::string input_column;
+};
+
+/// Sort key for SortNode.
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+/// Leaf: scans all live rows of a storage table.
+PlanPtr ScanTable(const Table* table);
+/// Leaf: range scan over an ordered index of the table: rows whose indexed
+/// column lies in [lo, hi] (a NULL bound is open), in ascending index
+/// order. The index must exist (CreateOrderedIndex).
+PlanPtr IndexRangeScan(const Table* table, std::string index_name, Value lo,
+                       Value hi);
+/// Leaf: wraps an already materialized row set.
+PlanPtr ScanValues(RowSet rows);
+/// σ: keeps rows for which `predicate` evaluates to true.
+PlanPtr Filter(PlanPtr child, ExprPtr predicate);
+/// π: computes the given output columns (also does renaming / casting).
+PlanPtr Project(PlanPtr child, std::vector<ProjectionItem> items);
+/// Inner hash equi-join on (left_keys[i] == right_keys[i]).
+/// Output schema concatenates left columns then right columns; name
+/// collisions on the right get a "r_" prefix.
+PlanPtr HashJoin(PlanPtr left, PlanPtr right,
+                 std::vector<std::string> left_keys,
+                 std::vector<std::string> right_keys);
+/// UNION DISTINCT over the inputs. All inputs must have compatible arity.
+/// Distinctness is decided on `key_columns` of the first input's schema
+/// (empty = whole row), matching the paper's "UNION DISTINCT, Ordkey" usage.
+PlanPtr UnionDistinct(std::vector<PlanPtr> children,
+                      std::vector<std::string> key_columns);
+/// δ: removes duplicate rows (whole-row distinct).
+PlanPtr Distinct(PlanPtr child);
+/// γ: grouped aggregation. Empty `group_by` yields one global row.
+PlanPtr Aggregate(PlanPtr child, std::vector<std::string> group_by,
+                  std::vector<AggregateItem> aggregates);
+/// Stable multi-key sort.
+PlanPtr Sort(PlanPtr child, std::vector<SortKey> keys);
+/// Keeps the first `limit` rows.
+PlanPtr Limit(PlanPtr child, size_t limit);
+
+/// Inserts every result row into `table` (append; duplicate-key rows are
+/// counted and skipped, not errors — ETL "upsert-tolerant" loading).
+/// Returns the number of rows actually inserted.
+Result<size_t> InsertInto(Table* table, const RowSet& rows);
+/// Like InsertInto but replaces rows on key conflicts.
+Result<size_t> UpsertInto(Table* table, const RowSet& rows);
+
+}  // namespace dipbench
+
+#endif  // DIPBENCH_RA_PLAN_H_

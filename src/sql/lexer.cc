@@ -1,0 +1,118 @@
+#include "src/sql/lexer.h"
+
+namespace dipbench {
+namespace sql {
+namespace {
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || (c >= '0' && c <= '9');
+}
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+char ToUpper(char c) {
+  return c >= 'a' && c <= 'z' ? static_cast<char>(c - 'a' + 'A') : c;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < input.size()) {
+    char c = input[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < input.size() && input[i + 1] == '-') {
+      while (i < input.size() && input[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < input.size() && IsIdentChar(input[i])) ++i;
+      tok.type = TokenType::kIdentifier;
+      tok.raw = input.substr(start, i - start);
+      tok.text.reserve(tok.raw.size());
+      for (char rc : tok.raw) tok.text.push_back(ToUpper(rc));
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (IsDigit(c) || (c == '.' && i + 1 < input.size() &&
+                       IsDigit(input[i + 1]))) {
+      size_t start = i;
+      bool seen_dot = false;
+      while (i < input.size() &&
+             (IsDigit(input[i]) || (input[i] == '.' && !seen_dot))) {
+        if (input[i] == '.') seen_dot = true;
+        ++i;
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = tok.raw = input.substr(start, i - start);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < input.size()) {
+        if (input[i] == '\'') {
+          if (i + 1 < input.size() && input[i + 1] == '\'') {
+            value.push_back('\'');  // escaped quote
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.offset));
+      }
+      tok.type = TokenType::kString;
+      tok.text = tok.raw = value;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < input.size()) {
+      std::string two = input.substr(i, 2);
+      if (two == "!=" || two == "<>" || two == "<=" || two == ">=") {
+        tok.type = TokenType::kSymbol;
+        tok.text = tok.raw = two == "<>" ? "!=" : two;
+        out.push_back(std::move(tok));
+        i += 2;
+        continue;
+      }
+    }
+    static const std::string kSingles = "(),.*=<>+-/%;";
+    if (kSingles.find(c) != std::string::npos) {
+      tok.type = TokenType::kSymbol;
+      tok.text = tok.raw = std::string(1, c);
+      out.push_back(std::move(tok));
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = input.size();
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace sql
+}  // namespace dipbench

@@ -1,0 +1,42 @@
+#ifndef DIPBENCH_SQL_LEXER_H_
+#define DIPBENCH_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace dipbench {
+namespace sql {
+
+enum class TokenType {
+  kIdentifier,  ///< unquoted name (keywords are classified by the parser)
+  kNumber,      ///< integer or decimal literal
+  kString,      ///< single-quoted string literal (unescaped)
+  kSymbol,      ///< operator or punctuation: ( ) , . * = != <> < <= > >= + - / %
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  ///< identifier upper-cased; symbols verbatim
+  std::string raw;   ///< original spelling (for identifiers / errors)
+  size_t offset = 0;
+
+  bool Is(TokenType t) const { return type == t; }
+  /// Keyword / identifier comparison (case-insensitive via upper-casing).
+  bool IsWord(const char* word) const {
+    return type == TokenType::kIdentifier && text == word;
+  }
+  bool IsSymbol(const char* sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// Splits a SQL string into tokens. Comments (`-- ...`) are skipped.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace sql
+}  // namespace dipbench
+
+#endif  // DIPBENCH_SQL_LEXER_H_

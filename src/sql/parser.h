@@ -1,0 +1,105 @@
+#ifndef DIPBENCH_SQL_PARSER_H_
+#define DIPBENCH_SQL_PARSER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ra/plan.h"
+#include "src/sql/lexer.h"
+
+namespace dipbench {
+namespace sql {
+
+/// One SELECT output item: either a plain expression (with optional alias)
+/// or an aggregate call. `star` marks `SELECT *`.
+struct SelectItem {
+  bool star = false;
+  bool is_aggregate = false;
+  AggFunc agg_func = AggFunc::kCount;
+  std::string agg_input;  ///< column name; empty for COUNT(*)
+  ExprPtr expr;           ///< non-aggregate expression
+  std::string alias;      ///< output name (derived when empty)
+};
+
+struct JoinClause {
+  std::string table;
+  std::vector<std::string> left_keys;
+  std::vector<std::string> right_keys;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::string from_table;
+  std::vector<JoinClause> joins;
+  ExprPtr where;  ///< null when absent
+  std::vector<std::string> group_by;
+  ExprPtr having;  ///< null when absent (references output column names)
+  std::vector<SortKey> order_by;
+  std::optional<size_t> limit;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  ///< empty = schema order
+  std::vector<std::vector<ExprPtr>> rows;  ///< constant expressions
+  /// INSERT INTO ... SELECT form (rows empty in that case).
+  std::shared_ptr<SelectStmt> select;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;
+};
+
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kString;
+  bool not_null = false;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<ColumnDef> columns;
+  std::vector<std::string> primary_key;
+};
+
+/// A parsed statement (exactly one member set, per `kind`).
+struct Statement {
+  enum class Kind { kSelect, kInsert, kUpdate, kDelete, kCreateTable };
+  Kind kind = Kind::kSelect;
+  SelectStmt select;
+  InsertStmt insert;
+  UpdateStmt update;
+  DeleteStmt del;
+  CreateTableStmt create;
+};
+
+/// Parses one SQL statement (an optional trailing ';' is consumed).
+///
+/// Supported grammar (see tests/sql_test.cc for the full behavior):
+///   SELECT [DISTINCT] {* | expr [AS name], ...} FROM t
+///     [JOIN t2 ON a = b [AND c = d]...]...
+///     [WHERE expr] [GROUP BY cols [HAVING expr]]
+///     [ORDER BY col [ASC|DESC], ...]
+///     [LIMIT n]
+///   INSERT INTO t [(cols)] {VALUES (exprs), ... | SELECT ...}
+///   UPDATE t SET col = expr, ... [WHERE expr]
+///   DELETE FROM t [WHERE expr]
+///   CREATE TABLE t (col TYPE [NOT NULL], ..., [PRIMARY KEY (cols)])
+/// Aggregates COUNT/SUM/AVG/MIN/MAX are recognized in SELECT items.
+/// Qualified column names (t.col) resolve by the column part.
+Result<Statement> ParseSql(const std::string& input);
+
+}  // namespace sql
+}  // namespace dipbench
+
+#endif  // DIPBENCH_SQL_PARSER_H_

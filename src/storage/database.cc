@@ -1,0 +1,175 @@
+#include "src/storage/database.h"
+
+namespace dipbench {
+
+Result<Table*> Database::CreateTable(const std::string& table_name,
+                                     Schema schema) {
+  if (InTransaction()) {
+    return Status::InvalidArgument("DDL inside a transaction");
+  }
+  if (tables_.count(table_name) > 0) {
+    return Status::AlreadyExists("table " + table_name + " in " + name_);
+  }
+  DIP_RETURN_NOT_OK(schema.Validate());
+  auto table = std::make_unique<Table>(table_name, std::move(schema));
+  Table* ptr = table.get();
+  tables_.emplace(table_name, std::move(table));
+  return ptr;
+}
+
+Result<Table*> Database::GetTable(const std::string& table_name) {
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table " + table_name + " in " + name_);
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Database::GetTable(const std::string& table_name) const {
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table " + table_name + " in " + name_);
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+bool Database::HasTable(const std::string& table_name) const {
+  return tables_.count(table_name) > 0;
+}
+
+Status Database::DropTable(const std::string& table_name) {
+  if (InTransaction()) {
+    return Status::InvalidArgument("DDL inside a transaction");
+  }
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table " + table_name + " in " + name_);
+  }
+  tables_.erase(it);
+  triggers_.erase(table_name);
+  return Status::OK();
+}
+
+std::vector<std::string> Database::ListTables() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+void Database::ClearAllTables() {
+  for (auto& [name, table] : tables_) table->Clear();
+}
+
+Status Database::InsertWithTriggers(const std::string& table_name, Row row) {
+  DIP_ASSIGN_OR_RETURN(Table * table, GetTable(table_name));
+  Row copy = row;  // trigger sees the row even after the table takes it
+  DIP_RETURN_NOT_OK(table->Insert(std::move(row)));
+  auto it = triggers_.find(table_name);
+  if (it != triggers_.end()) {
+    return it->second(this, table_name, copy);
+  }
+  return Status::OK();
+}
+
+Status Database::RegisterProcedure(const std::string& proc_name,
+                                   StoredProcedure proc) {
+  if (procedures_.count(proc_name) > 0) {
+    return Status::AlreadyExists("procedure " + proc_name + " in " + name_);
+  }
+  procedures_.emplace(proc_name, std::move(proc));
+  return Status::OK();
+}
+
+Status Database::CallProcedure(const std::string& proc_name,
+                               const std::vector<Value>& args) {
+  auto it = procedures_.find(proc_name);
+  if (it == procedures_.end()) {
+    return Status::NotFound("no procedure " + proc_name + " in " + name_);
+  }
+  return it->second(this, args);
+}
+
+bool Database::HasProcedure(const std::string& proc_name) const {
+  return procedures_.count(proc_name) > 0;
+}
+
+Status Database::SetInsertTrigger(const std::string& table_name,
+                                  InsertTrigger trig) {
+  if (!HasTable(table_name)) {
+    return Status::NotFound("no table " + table_name + " in " + name_);
+  }
+  triggers_[table_name] = std::move(trig);
+  return Status::OK();
+}
+
+Status Database::DropInsertTrigger(const std::string& table_name) {
+  auto it = triggers_.find(table_name);
+  if (it == triggers_.end()) {
+    return Status::NotFound("no trigger on " + table_name + " in " + name_);
+  }
+  triggers_.erase(it);
+  return Status::OK();
+}
+
+int64_t Database::NextSequenceValue(const std::string& seq_name) {
+  return ++sequences_[seq_name];
+}
+
+Status Database::BeginTransaction() {
+  if (InTransaction()) {
+    return Status::InvalidArgument("transaction already open on " + name_);
+  }
+  std::map<std::string, Table::State> snapshot;
+  for (const auto& [name, table] : tables_) {
+    snapshot.emplace(name, table->SaveState());
+  }
+  snapshot_ = std::move(snapshot);
+  return Status::OK();
+}
+
+Status Database::Commit() {
+  if (!InTransaction()) {
+    return Status::InvalidArgument("no open transaction on " + name_);
+  }
+  snapshot_.reset();
+  return Status::OK();
+}
+
+Status Database::Rollback() {
+  if (!InTransaction()) {
+    return Status::InvalidArgument("no open transaction on " + name_);
+  }
+  for (auto& [name, state] : *snapshot_) {
+    auto it = tables_.find(name);
+    if (it != tables_.end()) it->second->RestoreState(std::move(state));
+  }
+  snapshot_.reset();
+  return Status::OK();
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) total += table->size();
+  return total;
+}
+
+size_t Database::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) total += table->ByteSize();
+  return total;
+}
+
+uint64_t Database::TotalRowsRead() const {
+  uint64_t total = 0;
+  for (const auto& [name, table] : tables_) total += table->rows_read();
+  return total;
+}
+
+uint64_t Database::TotalRowsWritten() const {
+  uint64_t total = 0;
+  for (const auto& [name, table] : tables_) total += table->rows_written();
+  return total;
+}
+
+}  // namespace dipbench

@@ -1,0 +1,360 @@
+#include "src/storage/table.h"
+
+#include <cassert>
+
+namespace dipbench {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+Status Table::CheckRow(const Row& row) const {
+  if (row.size() != schema_.num_columns()) {
+    return Status::TypeMismatch(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.num_columns()) + " for table " + name_);
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Column& col = schema_.column(i);
+    if (row[i].is_null()) {
+      if (!col.nullable) {
+        return Status::ConstraintViolation("NULL in non-nullable column " +
+                                           col.name + " of " + name_);
+      }
+      continue;
+    }
+    if (row[i].type() != col.type) {
+      // Allow int->double widening transparently? No: enforce strictness so
+      // schema mismatches surface in tests. Callers cast explicitly.
+      return Status::TypeMismatch("column " + col.name + " of " + name_ +
+                                  " expects " + DataTypeToString(col.type) +
+                                  ", got " + DataTypeToString(row[i].type()));
+    }
+  }
+  return Status::OK();
+}
+
+Row Table::ExtractKey(const Row& row) const {
+  Row key;
+  key.reserve(schema_.primary_key().size());
+  for (size_t idx : schema_.primary_key()) key.push_back(row[idx]);
+  return key;
+}
+
+size_t Table::KeyHash(const Row& key) const { return HashRow(key); }
+
+size_t Table::FindSlotByKey(const Row& key) const {
+  if (schema_.primary_key().empty()) return SIZE_MAX;
+  size_t h = KeyHash(key);
+  auto range = pk_index_.equal_range(h);
+  for (auto it = range.first; it != range.second; ++it) {
+    size_t slot = it->second;
+    if (!live_[slot]) continue;
+    Row candidate = ExtractKey(rows_[slot]);
+    if (RowsEqual(candidate, key)) return slot;
+  }
+  return SIZE_MAX;
+}
+
+void Table::IndexRow(size_t slot) {
+  if (!schema_.primary_key().empty()) {
+    pk_index_.emplace(KeyHash(ExtractKey(rows_[slot])), slot);
+  }
+  for (auto& [name, idx] : secondary_) {
+    Row key;
+    for (size_t c : idx.columns) key.push_back(rows_[slot][c]);
+    idx.map.emplace(HashRow(key), slot);
+  }
+  for (auto& [name, idx] : ordered_) {
+    idx.map.emplace(rows_[slot][idx.column], slot);
+  }
+}
+
+void Table::UnindexRow(size_t slot) {
+  if (!schema_.primary_key().empty()) {
+    size_t h = KeyHash(ExtractKey(rows_[slot]));
+    auto range = pk_index_.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == slot) {
+        pk_index_.erase(it);
+        break;
+      }
+    }
+  }
+  for (auto& [name, idx] : secondary_) {
+    Row key;
+    for (size_t c : idx.columns) key.push_back(rows_[slot][c]);
+    auto range = idx.map.equal_range(HashRow(key));
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == slot) {
+        idx.map.erase(it);
+        break;
+      }
+    }
+  }
+  for (auto& [name, idx] : ordered_) {
+    auto range = idx.map.equal_range(rows_[slot][idx.column]);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == slot) {
+        idx.map.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+Status Table::Insert(Row row) {
+  DIP_RETURN_NOT_OK(CheckRow(row));
+  if (!schema_.primary_key().empty()) {
+    Row key = ExtractKey(row);
+    if (FindSlotByKey(key) != SIZE_MAX) {
+      return Status::AlreadyExists("duplicate key " + RowToString(key) +
+                                   " in " + name_);
+    }
+  }
+  rows_.push_back(std::move(row));
+  live_.push_back(true);
+  ++live_count_;
+  ++rows_written_;
+  IndexRow(rows_.size() - 1);
+  return Status::OK();
+}
+
+Status Table::InsertOrReplace(Row row) {
+  DIP_RETURN_NOT_OK(CheckRow(row));
+  if (!schema_.primary_key().empty()) {
+    size_t slot = FindSlotByKey(ExtractKey(row));
+    if (slot != SIZE_MAX) {
+      UnindexRow(slot);
+      live_[slot] = false;
+      --live_count_;
+    }
+  }
+  rows_.push_back(std::move(row));
+  live_.push_back(true);
+  ++live_count_;
+  ++rows_written_;
+  IndexRow(rows_.size() - 1);
+  return Status::OK();
+}
+
+Result<Row> Table::FindByKey(const Row& key) const {
+  if (schema_.primary_key().empty()) {
+    return Status::InvalidArgument("table " + name_ + " has no primary key");
+  }
+  if (key.size() != schema_.primary_key().size()) {
+    return Status::InvalidArgument("key arity mismatch for " + name_);
+  }
+  size_t slot = FindSlotByKey(key);
+  ++rows_read_;
+  if (slot == SIZE_MAX) {
+    return Status::NotFound("key " + RowToString(key) + " not in " + name_);
+  }
+  return rows_[slot];
+}
+
+bool Table::ContainsKey(const Row& key) const {
+  ++rows_read_;
+  return FindSlotByKey(key) != SIZE_MAX;
+}
+
+size_t Table::DeleteWhere(const std::function<bool(const Row&)>& pred) {
+  size_t removed = 0;
+  for (size_t slot = 0; slot < rows_.size(); ++slot) {
+    if (!live_[slot]) continue;
+    ++rows_read_;
+    if (pred(rows_[slot])) {
+      UnindexRow(slot);
+      live_[slot] = false;
+      --live_count_;
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+void Table::Clear() {
+  rows_.clear();
+  live_.clear();
+  live_count_ = 0;
+  pk_index_.clear();
+  for (auto& [name, idx] : secondary_) idx.map.clear();
+  for (auto& [name, idx] : ordered_) idx.map.clear();
+}
+
+Result<size_t> Table::UpdateWhere(const std::function<bool(const Row&)>& pred,
+                                  const std::function<void(Row*)>& update) {
+  size_t updated = 0;
+  for (size_t slot = 0; slot < rows_.size(); ++slot) {
+    if (!live_[slot]) continue;
+    ++rows_read_;
+    if (!pred(rows_[slot])) continue;
+    Row old_key =
+        schema_.primary_key().empty() ? Row{} : ExtractKey(rows_[slot]);
+    UnindexRow(slot);
+    update(&rows_[slot]);
+    Status st = CheckRow(rows_[slot]);
+    if (!st.ok()) {
+      IndexRow(slot);  // restore index entries before bailing
+      return st;
+    }
+    if (!schema_.primary_key().empty() &&
+        !RowsEqual(old_key, ExtractKey(rows_[slot]))) {
+      IndexRow(slot);
+      return Status::ConstraintViolation(
+          "update must not modify primary key of " + name_);
+    }
+    IndexRow(slot);
+    ++updated;
+    ++rows_written_;
+  }
+  return updated;
+}
+
+void Table::ForEach(const std::function<void(const Row&)>& fn) const {
+  for (size_t slot = 0; slot < rows_.size(); ++slot) {
+    if (!live_[slot]) continue;
+    ++rows_read_;
+    fn(rows_[slot]);
+  }
+}
+
+std::vector<Row> Table::ScanAll() const {
+  std::vector<Row> out;
+  out.reserve(live_count_);
+  ForEach([&out](const Row& r) { out.push_back(r); });
+  return out;
+}
+
+Status Table::CreateIndex(const std::string& index_name,
+                          const std::vector<std::string>& columns) {
+  if (secondary_.count(index_name) > 0) {
+    return Status::AlreadyExists("index " + index_name + " on " + name_);
+  }
+  SecondaryIndex idx;
+  for (const auto& c : columns) {
+    DIP_ASSIGN_OR_RETURN(size_t i, schema_.RequireIndexOf(c));
+    idx.columns.push_back(i);
+  }
+  for (size_t slot = 0; slot < rows_.size(); ++slot) {
+    if (!live_[slot]) continue;
+    Row key;
+    for (size_t c : idx.columns) key.push_back(rows_[slot][c]);
+    idx.map.emplace(HashRow(key), slot);
+  }
+  secondary_.emplace(index_name, std::move(idx));
+  return Status::OK();
+}
+
+Result<std::vector<Row>> Table::LookupIndex(const std::string& index_name,
+                                            const Row& key) const {
+  auto it = secondary_.find(index_name);
+  if (it == secondary_.end()) {
+    return Status::NotFound("no index " + index_name + " on " + name_);
+  }
+  const SecondaryIndex& idx = it->second;
+  if (key.size() != idx.columns.size()) {
+    return Status::InvalidArgument("index key arity mismatch");
+  }
+  std::vector<Row> out;
+  auto range = idx.map.equal_range(HashRow(key));
+  for (auto kv = range.first; kv != range.second; ++kv) {
+    size_t slot = kv->second;
+    if (!live_[slot]) continue;
+    Row candidate;
+    for (size_t c : idx.columns) candidate.push_back(rows_[slot][c]);
+    if (RowsEqual(candidate, key)) {
+      ++rows_read_;
+      out.push_back(rows_[slot]);
+    }
+  }
+  return out;
+}
+
+Status Table::CreateOrderedIndex(const std::string& index_name,
+                                 const std::string& column) {
+  if (ordered_.count(index_name) > 0 || secondary_.count(index_name) > 0) {
+    return Status::AlreadyExists("index " + index_name + " on " + name_);
+  }
+  DIP_ASSIGN_OR_RETURN(size_t col, schema_.RequireIndexOf(column));
+  OrderedIndex idx;
+  idx.column = col;
+  for (size_t slot = 0; slot < rows_.size(); ++slot) {
+    if (!live_[slot]) continue;
+    idx.map.emplace(rows_[slot][col], slot);
+  }
+  ordered_.emplace(index_name, std::move(idx));
+  return Status::OK();
+}
+
+Result<std::vector<Row>> Table::LookupRange(const std::string& index_name,
+                                            const Value& lo,
+                                            const Value& hi) const {
+  auto it = ordered_.find(index_name);
+  if (it == ordered_.end()) {
+    return Status::NotFound("no ordered index " + index_name + " on " +
+                            name_);
+  }
+  const OrderedIndex& idx = it->second;
+  auto begin = lo.is_null() ? idx.map.begin() : idx.map.lower_bound(lo);
+  auto end = hi.is_null() ? idx.map.end() : idx.map.upper_bound(hi);
+  std::vector<Row> out;
+  for (auto kv = begin; kv != end; ++kv) {
+    if (!live_[kv->second]) continue;
+    ++rows_read_;
+    out.push_back(rows_[kv->second]);
+  }
+  return out;
+}
+
+Table::State Table::SaveState() const {
+  State state;
+  state.rows = rows_;
+  state.live = live_;
+  state.live_count = live_count_;
+  state.pk_index = pk_index_;
+  for (const auto& [name, idx] : secondary_) {
+    state.secondary_maps[name] = idx.map;
+  }
+  return state;
+}
+
+void Table::RestoreState(State state) {
+  rows_ = std::move(state.rows);
+  live_ = std::move(state.live);
+  live_count_ = state.live_count;
+  pk_index_ = std::move(state.pk_index);
+  for (auto& [name, idx] : secondary_) {
+    auto it = state.secondary_maps.find(name);
+    // Indexes created after the snapshot are rebuilt from scratch.
+    if (it != state.secondary_maps.end()) {
+      idx.map = std::move(it->second);
+    } else {
+      idx.map.clear();
+      for (size_t slot = 0; slot < rows_.size(); ++slot) {
+        if (!live_[slot]) continue;
+        Row key;
+        for (size_t c : idx.columns) key.push_back(rows_[slot][c]);
+        idx.map.emplace(HashRow(key), slot);
+      }
+    }
+  }
+  // Ordered indexes are always rebuilt from the restored rows.
+  for (auto& [name, idx] : ordered_) {
+    idx.map.clear();
+    for (size_t slot = 0; slot < rows_.size(); ++slot) {
+      if (!live_[slot]) continue;
+      idx.map.emplace(rows_[slot][idx.column], slot);
+    }
+  }
+}
+
+size_t Table::ByteSize() const {
+  size_t total = 0;
+  for (size_t slot = 0; slot < rows_.size(); ++slot) {
+    if (!live_[slot]) continue;
+    for (const auto& v : rows_[slot]) total += v.ByteSize();
+  }
+  return total;
+}
+
+}  // namespace dipbench

@@ -1,0 +1,150 @@
+#ifndef DIPBENCH_STORAGE_TABLE_H_
+#define DIPBENCH_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/types/schema.h"
+
+namespace dipbench {
+
+/// An in-memory row-store table.
+///
+/// Rows live in an append-only vector with tombstones; a hash index over the
+/// primary key (when the schema declares one) enforces uniqueness and serves
+/// point lookups. Secondary hash indexes can be added per column set.
+/// The table counts rows read/written so callers (the simulated external
+/// systems) can derive deterministic processing costs.
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Number of live rows.
+  size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+
+  /// Validates arity/types against the schema and checks primary-key
+  /// uniqueness. Returns AlreadyExists on a duplicate key.
+  Status Insert(Row row);
+
+  /// Insert, replacing any existing row with the same primary key.
+  Status InsertOrReplace(Row row);
+
+  /// Point lookup by primary-key values (one Value per PK column, in schema
+  /// PK order). Requires a primary key.
+  Result<Row> FindByKey(const Row& key) const;
+  bool ContainsKey(const Row& key) const;
+
+  /// Deletes rows matching `pred`; returns how many were removed.
+  size_t DeleteWhere(const std::function<bool(const Row&)>& pred);
+  /// Removes all rows (keeps schema and indexes).
+  void Clear();
+
+  /// In-place update of rows matching `pred`. The updater mutates the row;
+  /// primary-key columns must not change (enforced). Returns rows updated.
+  Result<size_t> UpdateWhere(const std::function<bool(const Row&)>& pred,
+                             const std::function<void(Row*)>& update);
+
+  /// Visits every live row in insertion order.
+  void ForEach(const std::function<void(const Row&)>& fn) const;
+
+  /// Copies all live rows out (insertion order).
+  std::vector<Row> ScanAll() const;
+
+  /// Creates a named secondary (non-unique) hash index over the given
+  /// columns. Existing rows are indexed immediately.
+  Status CreateIndex(const std::string& index_name,
+                     const std::vector<std::string>& columns);
+
+  /// Rows whose indexed columns equal `key` (one Value per index column).
+  Result<std::vector<Row>> LookupIndex(const std::string& index_name,
+                                       const Row& key) const;
+
+  /// Creates a named ordered (tree) index over one column; supports range
+  /// lookups. Existing rows are indexed immediately.
+  Status CreateOrderedIndex(const std::string& index_name,
+                            const std::string& column);
+
+  /// Rows whose indexed column lies in [lo, hi]. A NULL bound is open
+  /// (LookupRange(idx, NULL, x) = all values <= x). Rows are returned in
+  /// index (ascending value) order.
+  Result<std::vector<Row>> LookupRange(const std::string& index_name,
+                                       const Value& lo, const Value& hi) const;
+
+  bool HasOrderedIndex(const std::string& index_name) const {
+    return ordered_.count(index_name) > 0;
+  }
+
+  /// Cumulative IO counters (monotone; survive Clear()).
+  uint64_t rows_read() const { return rows_read_; }
+  uint64_t rows_written() const { return rows_written_; }
+
+  /// Opaque snapshot of the table content (rows + indexes). IO counters
+  /// are not part of the state.
+  struct State {
+    std::vector<Row> rows;
+    std::vector<bool> live;
+    size_t live_count = 0;
+    std::unordered_multimap<size_t, size_t> pk_index;
+    std::map<std::string, std::unordered_multimap<size_t, size_t>>
+        secondary_maps;
+  };
+  /// Captures the current content for a later RestoreState (transactions).
+  State SaveState() const;
+  /// Restores a previously captured state.
+  void RestoreState(State state);
+
+  /// Approximate live data footprint in bytes.
+  size_t ByteSize() const;
+
+ private:
+  struct SecondaryIndex {
+    std::vector<size_t> columns;
+    std::unordered_multimap<size_t, size_t> map;  // key hash -> slot
+  };
+  struct ValueLess {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.Compare(b) < 0;
+    }
+  };
+  struct OrderedIndex {
+    size_t column = 0;
+    std::multimap<Value, size_t, ValueLess> map;  // value -> slot
+  };
+
+  Status CheckRow(const Row& row) const;
+  Row ExtractKey(const Row& row) const;
+  size_t KeyHash(const Row& key) const;
+  // Finds the slot of the live row with this PK, or SIZE_MAX.
+  size_t FindSlotByKey(const Row& key) const;
+  void IndexRow(size_t slot);
+  void UnindexRow(size_t slot);
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<bool> live_;
+  size_t live_count_ = 0;
+  // Primary-key hash -> slot candidates.
+  std::unordered_multimap<size_t, size_t> pk_index_;
+  std::unordered_map<std::string, SecondaryIndex> secondary_;
+  std::map<std::string, OrderedIndex> ordered_;
+  mutable uint64_t rows_read_ = 0;
+  uint64_t rows_written_ = 0;
+};
+
+}  // namespace dipbench
+
+#endif  // DIPBENCH_STORAGE_TABLE_H_

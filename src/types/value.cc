@@ -1,0 +1,235 @@
+#include "src/types/value.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+
+#include "src/common/string_util.h"
+
+namespace dipbench {
+
+const char* DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kDate:
+      return "DATE";
+  }
+  return "?";
+}
+
+Result<double> Value::ToNumeric() const {
+  switch (type_) {
+    case DataType::kBool:
+      return AsBool() ? 1.0 : 0.0;
+    case DataType::kInt64:
+      return static_cast<double>(AsInt());
+    case DataType::kDouble:
+      return AsDouble();
+    case DataType::kDate:
+      return static_cast<double>(AsDate());
+    default:
+      return Status::TypeMismatch(std::string("not numeric: ") +
+                                  DataTypeToString(type_));
+  }
+}
+
+Result<int64_t> Value::ToInt() const {
+  switch (type_) {
+    case DataType::kBool:
+      return AsBool() ? int64_t{1} : int64_t{0};
+    case DataType::kInt64:
+      return AsInt();
+    case DataType::kDate:
+      return AsDate();
+    case DataType::kDouble: {
+      double d = AsDouble();
+      if (d != std::floor(d)) {
+        return Status::TypeMismatch("double has fractional part");
+      }
+      return static_cast<int64_t>(d);
+    }
+    default:
+      return Status::TypeMismatch(std::string("not integral: ") +
+                                  DataTypeToString(type_));
+  }
+}
+
+Result<Value> Value::CastTo(DataType target) const {
+  if (type_ == target) return *this;
+  if (is_null()) return Value::Null();
+  switch (target) {
+    case DataType::kNull:
+      return Value::Null();
+    case DataType::kBool: {
+      DIP_ASSIGN_OR_RETURN(double d, ToNumeric());
+      return Value::Bool(d != 0.0);
+    }
+    case DataType::kInt64: {
+      if (type_ == DataType::kString) {
+        return Parse(AsString(), DataType::kInt64);
+      }
+      DIP_ASSIGN_OR_RETURN(double d, ToNumeric());
+      return Value::Int(static_cast<int64_t>(d));
+    }
+    case DataType::kDouble: {
+      if (type_ == DataType::kString) {
+        return Parse(AsString(), DataType::kDouble);
+      }
+      DIP_ASSIGN_OR_RETURN(double d, ToNumeric());
+      return Value::Double(d);
+    }
+    case DataType::kString:
+      return Value::String(ToString());
+    case DataType::kDate: {
+      if (type_ == DataType::kString) return Parse(AsString(), DataType::kDate);
+      DIP_ASSIGN_OR_RETURN(int64_t i, ToInt());
+      return Value::Date(i);
+    }
+  }
+  return Status::TypeMismatch("unsupported cast");
+}
+
+Result<int64_t> Value::DateYear() const {
+  if (type_ != DataType::kDate) return Status::TypeMismatch("not a date");
+  return AsDate() / 10000;
+}
+
+Result<int64_t> Value::DateMonth() const {
+  if (type_ != DataType::kDate) return Status::TypeMismatch("not a date");
+  return (AsDate() / 100) % 100;
+}
+
+Result<int64_t> Value::DateDay() const {
+  if (type_ != DataType::kDate) return Status::TypeMismatch("not a date");
+  return AsDate() % 100;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case DataType::kNull:
+      return "";
+    case DataType::kBool:
+      return AsBool() ? "true" : "false";
+    case DataType::kInt64:
+      return std::to_string(AsInt());
+    case DataType::kDouble: {
+      std::string s = StrFormat("%.6g", AsDouble());
+      return s;
+    }
+    case DataType::kString:
+      return AsString();
+    case DataType::kDate:
+      return std::to_string(AsDate());
+  }
+  return "";
+}
+
+Result<Value> Value::Parse(const std::string& text, DataType target) {
+  switch (target) {
+    case DataType::kNull:
+      return Value::Null();
+    case DataType::kBool: {
+      std::string lower = StrLower(StrTrim(text));
+      if (lower == "true" || lower == "1") return Value::Bool(true);
+      if (lower == "false" || lower == "0") return Value::Bool(false);
+      return Status::ParseError("not a bool: " + text);
+    }
+    case DataType::kInt64:
+    case DataType::kDate: {
+      std::string t(StrTrim(text));
+      if (t.empty()) return Value::Null();
+      char* end = nullptr;
+      long long v = std::strtoll(t.c_str(), &end, 10);
+      if (end == t.c_str() || *end != '\0') {
+        return Status::ParseError("not an integer: " + text);
+      }
+      return target == DataType::kInt64 ? Value::Int(v) : Value::Date(v);
+    }
+    case DataType::kDouble: {
+      std::string t(StrTrim(text));
+      if (t.empty()) return Value::Null();
+      char* end = nullptr;
+      double v = std::strtod(t.c_str(), &end);
+      if (end == t.c_str() || *end != '\0') {
+        return Status::ParseError("not a double: " + text);
+      }
+      return Value::Double(v);
+    }
+    case DataType::kString:
+      return Value::String(text);
+  }
+  return Status::ParseError("unknown target type");
+}
+
+namespace {
+
+bool IsNumericFamily(DataType t) {
+  return t == DataType::kBool || t == DataType::kInt64 ||
+         t == DataType::kDouble || t == DataType::kDate;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+  if (IsNumericFamily(type_) && IsNumericFamily(other.type_)) {
+    double a = *ToNumeric();
+    double b = *other.ToNumeric();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (type_ == DataType::kString && other.type_ == DataType::kString) {
+    return AsString().compare(other.AsString());
+  }
+  // Heterogeneous non-comparable types: order by type tag for determinism.
+  return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case DataType::kNull:
+      return 0x9E3779B9u;
+    case DataType::kBool:
+    case DataType::kInt64:
+    case DataType::kDouble:
+    case DataType::kDate: {
+      // Hash via the numeric value so 1 == 1.0 hash-agree with Compare().
+      double d = *ToNumeric();
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      return std::hash<double>()(d);
+    }
+    case DataType::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+size_t Value::ByteSize() const {
+  switch (type_) {
+    case DataType::kNull:
+      return 1;
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+    case DataType::kDouble:
+    case DataType::kDate:
+      return 8;
+    case DataType::kString:
+      return AsString().size() + 4;
+  }
+  return 0;
+}
+
+}  // namespace dipbench

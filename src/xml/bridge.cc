@@ -1,0 +1,71 @@
+#include "src/xml/bridge.h"
+
+namespace dipbench {
+namespace xml {
+
+NodePtr RowSetToXml(const RowSet& rows, const std::string& root_name,
+                    const std::string& row_name) {
+  auto root = std::make_unique<Node>(root_name);
+  for (const auto& row : rows.rows) {
+    Node* row_el = root->AddChild(row_name);
+    for (size_t i = 0; i < rows.schema.num_columns(); ++i) {
+      const Column& col = rows.schema.column(i);
+      if (i < row.size() && !row[i].is_null()) {
+        row_el->AddText(col.name, row[i].ToString());
+      } else {
+        row_el->AddChild(col.name);  // empty element = NULL
+      }
+    }
+  }
+  return root;
+}
+
+Result<Row> XmlToRow(const Node& element, const Schema& schema) {
+  Row row;
+  row.reserve(schema.num_columns());
+  for (const auto& col : schema.columns()) {
+    const Node* leaf = element.FindChild(col.name);
+    if (leaf == nullptr || leaf->text().empty()) {
+      row.push_back(Value::Null());
+      continue;
+    }
+    DIP_ASSIGN_OR_RETURN(Value v, Value::Parse(leaf->text(), col.type));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+Result<RowSet> XmlToRowSet(const Node& root, const Schema& schema,
+                           const std::string& row_name) {
+  RowSet out;
+  out.schema = schema;
+  // A message whose document element IS the entity ("<order>...</order>")
+  // yields exactly one row.
+  if (root.name() == row_name) {
+    DIP_ASSIGN_OR_RETURN(Row row, XmlToRow(root, schema));
+    out.rows.push_back(std::move(row));
+    return out;
+  }
+  for (const auto& child : root.children()) {
+    if (child->name() != row_name) continue;
+    DIP_ASSIGN_OR_RETURN(Row row, XmlToRow(*child, schema));
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+NodePtr RowToXml(const Row& row, const Schema& schema,
+                 const std::string& element_name) {
+  auto el = std::make_unique<Node>(element_name);
+  for (size_t i = 0; i < schema.num_columns() && i < row.size(); ++i) {
+    if (!row[i].is_null()) {
+      el->AddText(schema.column(i).name, row[i].ToString());
+    } else {
+      el->AddChild(schema.column(i).name);
+    }
+  }
+  return el;
+}
+
+}  // namespace xml
+}  // namespace dipbench

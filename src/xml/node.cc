@@ -1,0 +1,103 @@
+#include "src/xml/node.h"
+
+namespace dipbench {
+namespace xml {
+
+void Node::SetAttr(const std::string& key, std::string value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(key, std::move(value));
+}
+
+const std::string* Node::GetAttr(const std::string& key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Node* Node::AddChild(std::string name) {
+  children_.push_back(std::make_unique<Node>(std::move(name)));
+  return children_.back().get();
+}
+
+Node* Node::AddChild(NodePtr child) {
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+Node* Node::AddText(const std::string& name, const std::string& text) {
+  Node* child = AddChild(name);
+  child->set_text(text);
+  return child;
+}
+
+const Node* Node::FindChild(const std::string& name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+Node* Node::FindChild(const std::string& name) {
+  for (auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Node*> Node::FindChildren(const std::string& name) const {
+  std::vector<const Node*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+Result<std::string> Node::ChildText(const std::string& name) const {
+  const Node* child = FindChild(name);
+  if (child == nullptr) {
+    return Status::NotFound("no child element <" + name + "> under <" +
+                            name_ + ">");
+  }
+  return child->text();
+}
+
+std::string Node::ChildTextOr(const std::string& name,
+                              const std::string& fallback) const {
+  const Node* child = FindChild(name);
+  return child == nullptr ? fallback : child->text();
+}
+
+size_t Node::SubtreeSize() const {
+  size_t total = 1;
+  for (const auto& c : children_) total += c->SubtreeSize();
+  return total;
+}
+
+NodePtr Node::Clone() const {
+  auto copy = std::make_unique<Node>(name_);
+  copy->text_ = text_;
+  copy->attrs_ = attrs_;
+  copy->children_.reserve(children_.size());
+  for (const auto& c : children_) copy->children_.push_back(c->Clone());
+  return copy;
+}
+
+bool Node::Equals(const Node& other) const {
+  if (name_ != other.name_ || text_ != other.text_ ||
+      attrs_ != other.attrs_ || children_.size() != other.children_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace xml
+}  // namespace dipbench

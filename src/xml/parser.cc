@@ -1,0 +1,243 @@
+#include "src/xml/parser.h"
+
+#include "src/common/string_util.h"
+
+namespace dipbench {
+namespace xml {
+namespace {
+
+/// Recursive-descent XML parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<NodePtr> Parse() {
+    SkipProlog();
+    DIP_ASSIGN_OR_RETURN(NodePtr root, ParseElement());
+    SkipWhitespaceAndComments();
+    if (pos_ != input_.size()) {
+      return Err("trailing content after document element");
+    }
+    return root;
+  }
+
+ private:
+  Status Err(const std::string& what) const {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_));
+  }
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool Lookahead(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                        Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      SkipWhitespace();
+      if (Lookahead("<!--")) {
+        size_t end = input_.find("-->", pos_ + 4);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 3;
+        continue;
+      }
+      break;
+    }
+  }
+
+  void SkipProlog() {
+    for (;;) {
+      SkipWhitespaceAndComments();
+      if (Lookahead("<?")) {
+        size_t end = input_.find("?>", pos_ + 2);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 2;
+        continue;
+      }
+      break;
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+           c == ':';
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    if (pos_ == start) return Err("expected name");
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseQuoted() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Err("expected quoted value");
+    }
+    char quote = Peek();
+    ++pos_;
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != quote) ++pos_;
+    if (AtEnd()) return Err("unterminated attribute value");
+    std::string raw(input_.substr(start, pos_ - start));
+    ++pos_;  // closing quote
+    return Unescape(raw);
+  }
+
+  Result<std::string> Unescape(const std::string& raw) const {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string::npos) {
+        return Status::ParseError("unterminated entity");
+      }
+      std::string entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") {
+        out.push_back('&');
+      } else if (entity == "lt") {
+        out.push_back('<');
+      } else if (entity == "gt") {
+        out.push_back('>');
+      } else if (entity == "quot") {
+        out.push_back('"');
+      } else if (entity == "apos") {
+        out.push_back('\'');
+      } else if (!entity.empty() && entity[0] == '#') {
+        long code = std::strtol(entity.c_str() + 1, nullptr, 10);
+        out.push_back(static_cast<char>(code));
+      } else {
+        return Status::ParseError("unknown entity &" + entity + ";");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  Result<NodePtr> ParseElement() {
+    if (AtEnd() || Peek() != '<') return Err("expected '<'");
+    ++pos_;
+    DIP_ASSIGN_OR_RETURN(std::string name, ParseName());
+    auto node = std::make_unique<Node>(name);
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Err("unterminated start tag <" + name + ">");
+      if (Peek() == '/' || Peek() == '>') break;
+      DIP_ASSIGN_OR_RETURN(std::string attr, ParseName());
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') return Err("expected '=' after attribute");
+      ++pos_;
+      SkipWhitespace();
+      DIP_ASSIGN_OR_RETURN(std::string value, ParseQuoted());
+      node->SetAttr(attr, std::move(value));
+    }
+    if (Peek() == '/') {
+      ++pos_;
+      if (AtEnd() || Peek() != '>') return Err("expected '>' after '/'");
+      ++pos_;
+      return node;  // self-closing
+    }
+    ++pos_;  // '>'
+    // Content: text and child elements until the matching end tag.
+    std::string text;
+    for (;;) {
+      if (AtEnd()) return Err("missing </" + name + ">");
+      if (Peek() == '<') {
+        if (Lookahead("<!--")) {
+          size_t end = input_.find("-->", pos_ + 4);
+          if (end == std::string_view::npos) return Err("unterminated comment");
+          pos_ = end + 3;
+          continue;
+        }
+        if (Lookahead("</")) {
+          pos_ += 2;
+          DIP_ASSIGN_OR_RETURN(std::string end_name, ParseName());
+          if (end_name != name) {
+            return Err("mismatched end tag </" + end_name + ">, expected </" +
+                       name + ">");
+          }
+          SkipWhitespace();
+          if (AtEnd() || Peek() != '>') return Err("expected '>' in end tag");
+          ++pos_;
+          break;
+        }
+        DIP_ASSIGN_OR_RETURN(NodePtr child, ParseElement());
+        node->AddChild(std::move(child));
+        continue;
+      }
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '<') ++pos_;
+      DIP_ASSIGN_OR_RETURN(std::string piece,
+                           Unescape(std::string(
+                               input_.substr(start, pos_ - start))));
+      text += piece;
+    }
+    // Element text is the trimmed concatenation of the text pieces.
+    node->set_text(std::string(StrTrim(text)));
+    return node;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+void WriteNode(const Node& node, int indent, int depth, std::string* out) {
+  auto pad = [&](int d) {
+    if (indent >= 0) out->append(static_cast<size_t>(d) * indent, ' ');
+  };
+  pad(depth);
+  out->push_back('<');
+  out->append(node.name());
+  for (const auto& [k, v] : node.attrs()) {
+    out->push_back(' ');
+    out->append(k);
+    out->append("=\"");
+    out->append(XmlEscape(v));
+    out->push_back('"');
+  }
+  if (node.children().empty() && node.text().empty()) {
+    out->append("/>");
+    if (indent >= 0) out->push_back('\n');
+    return;
+  }
+  out->push_back('>');
+  out->append(XmlEscape(node.text()));
+  if (!node.children().empty()) {
+    if (indent >= 0) out->push_back('\n');
+    for (const auto& c : node.children()) {
+      WriteNode(*c, indent, depth + 1, out);
+    }
+    pad(depth);
+  }
+  out->append("</");
+  out->append(node.name());
+  out->push_back('>');
+  if (indent >= 0) out->push_back('\n');
+}
+
+}  // namespace
+
+Result<NodePtr> ParseXml(std::string_view input) {
+  Parser parser(input);
+  return parser.Parse();
+}
+
+std::string WriteXml(const Node& root, int indent) {
+  std::string out;
+  WriteNode(root, indent, 0, &out);
+  return out;
+}
+
+}  // namespace xml
+}  // namespace dipbench

@@ -1,0 +1,34 @@
+#ifndef DIPBENCH_XML_PATH_H_
+#define DIPBENCH_XML_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/xml/node.h"
+
+namespace dipbench {
+namespace xml {
+
+/// Evaluates a simplified XPath against a tree and returns matching nodes.
+///
+/// Grammar (subset sufficient for message enrichment and validation):
+///   path      := step ('/' step)*
+///   step      := name | '*' | '//' name
+/// A leading '/' anchors at the root element (whose name must match the
+/// first step unless it is '*'); a relative path starts at the children of
+/// `root`. '//' introduces a descendant-or-self search for the next name.
+///
+/// Examples: "/Order/Items/Item", "Customer/*", "//Custkey".
+std::vector<const Node*> SelectNodes(const Node& root, const std::string& path);
+
+/// First match of SelectNodes, or nullptr.
+const Node* SelectFirst(const Node& root, const std::string& path);
+
+/// Text of the first matching node; error if none matches.
+Result<std::string> SelectText(const Node& root, const std::string& path);
+
+}  // namespace xml
+}  // namespace dipbench
+
+#endif  // DIPBENCH_XML_PATH_H_

@@ -1,0 +1,73 @@
+#ifndef DIPBENCH_XML_XSD_H_
+#define DIPBENCH_XML_XSD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/types/value.h"
+#include "src/xml/node.h"
+
+namespace dipbench {
+namespace xml {
+
+/// Structural + lexical schema for XML messages — a programmatic XSD
+/// equivalent (the paper distributes XSDs with the benchmark spec; we build
+/// the same constraints in code). Each element declares its allowed
+/// children with occurrence bounds, its required attributes, and a lexical
+/// value type for leaf text.
+class XsdSchema {
+ public:
+  struct ChildSpec {
+    std::string name;
+    size_t min_occurs = 1;
+    size_t max_occurs = 1;  // SIZE_MAX = unbounded
+  };
+
+  struct ElementSpec {
+    /// Leaf value type; kNull means "no text constraint" (container).
+    DataType text_type = DataType::kNull;
+    bool text_required = false;
+    std::vector<ChildSpec> children;
+    std::vector<std::string> required_attrs;
+    /// When false, children not declared in `children` cause a validation
+    /// error (closed content model).
+    bool open_content = false;
+  };
+
+  explicit XsdSchema(std::string root_element)
+      : root_element_(std::move(root_element)) {}
+
+  const std::string& root_element() const { return root_element_; }
+
+  /// Declares (or replaces) the spec for elements with this name.
+  XsdSchema& Element(const std::string& name, ElementSpec spec) {
+    elements_[name] = std::move(spec);
+    return *this;
+  }
+
+  /// Validates a document: root name, recursive content models, occurrence
+  /// bounds, required attributes, and leaf text lexical types. Returns the
+  /// first violation with a path-like description.
+  Status Validate(const Node& root) const;
+
+ private:
+  Status ValidateNode(const Node& node, const std::string& path) const;
+
+  std::string root_element_;
+  std::map<std::string, ElementSpec> elements_;
+};
+
+/// Convenience builders.
+XsdSchema::ChildSpec Required(const std::string& name);
+XsdSchema::ChildSpec Optional(const std::string& name);
+XsdSchema::ChildSpec Repeated(const std::string& name, size_t min = 0);
+XsdSchema::ElementSpec Leaf(DataType type, bool required = true);
+XsdSchema::ElementSpec Container(std::vector<XsdSchema::ChildSpec> children);
+
+}  // namespace xml
+}  // namespace dipbench
+
+#endif  // DIPBENCH_XML_XSD_H_

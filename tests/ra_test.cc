@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "src/ra/expr.h"
+#include "src/ra/plan.h"
+#include "src/ra/query.h"
+#include "src/storage/database.h"
+
+namespace dipbench {
+namespace {
+
+class RaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema orders;
+    orders.AddColumn("orderkey", DataType::kInt64, false)
+        .AddColumn("custkey", DataType::kInt64, false)
+        .AddColumn("total", DataType::kDouble)
+        .AddColumn("orderdate", DataType::kDate)
+        .SetPrimaryKey({"orderkey"});
+    orders_ = *db_.CreateTable("orders", orders);
+
+    Schema customer;
+    customer.AddColumn("custkey", DataType::kInt64, false)
+        .AddColumn("name", DataType::kString)
+        .AddColumn("nation", DataType::kString)
+        .SetPrimaryKey({"custkey"});
+    customer_ = *db_.CreateTable("customer", customer);
+
+    for (int i = 1; i <= 3; ++i) {
+      ASSERT_TRUE(customer_
+                      ->Insert({Value::Int(i), Value::String("c" +
+                                                             std::to_string(i)),
+                                Value::String(i % 2 ? "DE" : "FR")})
+                      .ok());
+    }
+    for (int i = 1; i <= 10; ++i) {
+      ASSERT_TRUE(orders_
+                      ->Insert({Value::Int(i), Value::Int(1 + i % 3),
+                                Value::Double(i * 10.0),
+                                Value::DateYmd(2008, 1 + i % 3, 1 + i)})
+                      .ok());
+    }
+  }
+
+  Database db_{"test"};
+  Table* orders_ = nullptr;
+  Table* customer_ = nullptr;
+  ExecContext ctx_;
+};
+
+TEST_F(RaTest, ScanReturnsAllRows) {
+  auto rs = ScanTable(orders_)->Execute(&ctx_);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 10u);
+  EXPECT_EQ(rs->schema.num_columns(), 4u);
+  EXPECT_GE(ctx_.rows_processed, 10u);
+}
+
+TEST_F(RaTest, FilterByPredicate) {
+  auto rs = Filter(ScanTable(orders_), Gt(Col("total"), Lit(50.0)))
+                ->Execute(&ctx_);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 5u);
+}
+
+TEST_F(RaTest, FilterUnknownColumnErrors) {
+  auto rs = Filter(ScanTable(orders_), Gt(Col("missing"), Lit(1.0)))
+                ->Execute(&ctx_);
+  EXPECT_TRUE(rs.status().IsNotFound());
+}
+
+TEST_F(RaTest, ProjectRenamesAndComputes) {
+  auto rs = Project(ScanTable(orders_),
+                    {{"okey", Col("orderkey"), DataType::kNull},
+                     {"total_cents", Mul(Col("total"), Lit(100.0)),
+                      DataType::kNull},
+                     {"y", Func("year", {Col("orderdate")}), DataType::kNull}})
+                ->Execute(&ctx_);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->schema.column(0).name, "okey");
+  EXPECT_DOUBLE_EQ(rs->rows[0][1].AsDouble(), 1000.0);
+  EXPECT_EQ(rs->rows[0][2].AsInt(), 2008);
+}
+
+TEST_F(RaTest, ProjectWithCast) {
+  auto rs = Project(ScanTable(orders_),
+                    {{"okey_str", Col("orderkey"), DataType::kString}})
+                ->Execute(&ctx_);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].AsString(), "1");
+  EXPECT_EQ(rs->schema.column(0).type, DataType::kString);
+}
+
+TEST_F(RaTest, HashJoinMatchesForeignKeys) {
+  auto rs = HashJoin(ScanTable(orders_), ScanTable(customer_), {"custkey"},
+                     {"custkey"})
+                ->Execute(&ctx_);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 10u);  // every order has a customer
+  // Right-side custkey collides -> prefixed.
+  EXPECT_TRUE(rs->schema.HasColumn("r_custkey"));
+  EXPECT_TRUE(rs->schema.HasColumn("name"));
+}
+
+TEST_F(RaTest, HashJoinNoMatches) {
+  Schema s;
+  s.AddColumn("custkey", DataType::kInt64, false);
+  RowSet lonely{std::move(s), {{Value::Int(999)}}};
+  auto rs = HashJoin(ScanValues(std::move(lonely)), ScanTable(customer_),
+                     {"custkey"}, {"custkey"})
+                ->Execute(&ctx_);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->rows.empty());
+}
+
+TEST_F(RaTest, UnionDistinctByKey) {
+  // Two overlapping order sets, distinct on orderkey.
+  auto first = Filter(ScanTable(orders_), Le(Col("orderkey"), Lit(int64_t{6})));
+  auto second = Filter(ScanTable(orders_), Ge(Col("orderkey"), Lit(int64_t{4})));
+  auto rs = UnionDistinct({first, second}, {"orderkey"})->Execute(&ctx_);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 10u);
+}
+
+TEST_F(RaTest, DistinctWholeRow) {
+  Schema s;
+  s.AddColumn("v", DataType::kInt64);
+  RowSet dup{s, {{Value::Int(1)}, {Value::Int(1)}, {Value::Int(2)}}};
+  auto rs = Distinct(ScanValues(std::move(dup)))->Execute(&ctx_);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 2u);
+}
+
+TEST_F(RaTest, AggregateGlobal) {
+  auto rs = Aggregate(ScanTable(orders_), {},
+                      {{"n", AggFunc::kCount, ""},
+                       {"sum_total", AggFunc::kSum, "total"},
+                       {"avg_total", AggFunc::kAvg, "total"},
+                       {"max_total", AggFunc::kMax, "total"}})
+                ->Execute(&ctx_);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 10);
+  EXPECT_DOUBLE_EQ(rs->rows[0][1].AsDouble(), 550.0);
+  EXPECT_DOUBLE_EQ(rs->rows[0][2].AsDouble(), 55.0);
+  EXPECT_DOUBLE_EQ(rs->rows[0][3].AsDouble(), 100.0);
+}
+
+TEST_F(RaTest, AggregateGrouped) {
+  auto rs = Aggregate(ScanTable(orders_), {"custkey"},
+                      {{"n", AggFunc::kCount, ""}})
+                ->Execute(&ctx_);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 3u);
+  int64_t total = 0;
+  for (const auto& r : rs->rows) total += r[1].AsInt();
+  EXPECT_EQ(total, 10);
+}
+
+TEST_F(RaTest, SortAscendingDescending) {
+  auto rs = Sort(ScanTable(orders_), {{"total", false}})->Execute(&ctx_);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_DOUBLE_EQ(rs->rows.front()[2].AsDouble(), 100.0);
+  EXPECT_DOUBLE_EQ(rs->rows.back()[2].AsDouble(), 10.0);
+}
+
+TEST_F(RaTest, SortMultiKeyStable) {
+  auto rs =
+      Sort(ScanTable(orders_), {{"custkey", true}, {"orderkey", true}})
+          ->Execute(&ctx_);
+  ASSERT_TRUE(rs.ok());
+  for (size_t i = 1; i < rs->rows.size(); ++i) {
+    int64_t prev = rs->rows[i - 1][1].AsInt();
+    int64_t cur = rs->rows[i][1].AsInt();
+    EXPECT_LE(prev, cur);
+    if (prev == cur) {
+      EXPECT_LT(rs->rows[i - 1][0].AsInt(), rs->rows[i][0].AsInt());
+    }
+  }
+}
+
+TEST_F(RaTest, LimitTruncates) {
+  auto rs = Limit(ScanTable(orders_), 3)->Execute(&ctx_);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 3u);
+  rs = Limit(ScanTable(orders_), 100)->Execute(&ctx_);
+  EXPECT_EQ(rs->rows.size(), 10u);
+}
+
+TEST_F(RaTest, QueryBuilderPipeline) {
+  auto rs = Query::From(orders_)
+                .Where(Gt(Col("total"), Lit(30.0)))
+                .Join(Query::From(customer_), {"custkey"}, {"custkey"})
+                .Select({{"name", Col("name"), DataType::kNull},
+                         {"total", Col("total"), DataType::kNull}})
+                .OrderBy({{"total", false}})
+                .Take(2)
+                .Run(&ctx_);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rs->rows[0][1].AsDouble(), 100.0);
+}
+
+TEST_F(RaTest, InsertIntoSkipsDuplicates) {
+  Schema target_schema;
+  target_schema.AddColumn("orderkey", DataType::kInt64, false)
+      .AddColumn("custkey", DataType::kInt64, false)
+      .AddColumn("total", DataType::kDouble)
+      .AddColumn("orderdate", DataType::kDate)
+      .SetPrimaryKey({"orderkey"});
+  Table* target = *db_.CreateTable("orders_copy", std::move(target_schema));
+  auto rs = ScanTable(orders_)->Execute(&ctx_);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(*InsertInto(target, *rs), 10u);
+  EXPECT_EQ(*InsertInto(target, *rs), 0u);  // all duplicates skipped
+  EXPECT_EQ(target->size(), 10u);
+  EXPECT_EQ(*UpsertInto(target, *rs), 10u);
+  EXPECT_EQ(target->size(), 10u);
+}
+
+TEST_F(RaTest, ExprArithmeticAndLogic) {
+  Schema s;
+  s.AddColumn("a", DataType::kInt64).AddColumn("b", DataType::kInt64);
+  Row r{Value::Int(7), Value::Int(3)};
+  EXPECT_EQ(Add(Col("a"), Col("b"))->Eval(r, s)->AsInt(), 10);
+  EXPECT_EQ(Sub(Col("a"), Col("b"))->Eval(r, s)->AsInt(), 4);
+  EXPECT_EQ(Mul(Col("a"), Col("b"))->Eval(r, s)->AsInt(), 21);
+  EXPECT_EQ(Div(Col("a"), Col("b"))->Eval(r, s)->AsInt(), 2);
+  EXPECT_FALSE(Div(Col("a"), Lit(int64_t{0}))->Eval(r, s).ok());
+  EXPECT_TRUE(
+      And(Gt(Col("a"), Lit(int64_t{5})), Lt(Col("b"), Lit(int64_t{5})))
+          ->Eval(r, s)
+          ->AsBool());
+  EXPECT_FALSE(Not(Gt(Col("a"), Lit(int64_t{5})))->Eval(r, s)->AsBool());
+  EXPECT_TRUE(Or(Lt(Col("a"), Lit(int64_t{0})), Eq(Col("b"), Lit(int64_t{3})))
+                  ->Eval(r, s)
+                  ->AsBool());
+}
+
+TEST_F(RaTest, ExprNullSemantics) {
+  Schema s;
+  s.AddColumn("a", DataType::kInt64);
+  Row r{Value::Null()};
+  EXPECT_TRUE(IsNull(Col("a"))->Eval(r, s)->AsBool());
+  // NULL comparisons are false.
+  EXPECT_FALSE(Eq(Col("a"), Lit(int64_t{1}))->Eval(r, s)->AsBool());
+  // NULL arithmetic is NULL.
+  EXPECT_TRUE(Add(Col("a"), Lit(int64_t{1}))->Eval(r, s)->is_null());
+}
+
+TEST_F(RaTest, ExprInList) {
+  Schema s;
+  s.AddColumn("nation", DataType::kString);
+  Row r{Value::String("DE")};
+  EXPECT_TRUE(InList(Col("nation"),
+                     {Value::String("DE"), Value::String("FR")})
+                  ->Eval(r, s)
+                  ->AsBool());
+  EXPECT_FALSE(
+      InList(Col("nation"), {Value::String("US")})->Eval(r, s)->AsBool());
+}
+
+TEST_F(RaTest, ExprStringFunctions) {
+  Schema s;
+  s.AddColumn("name", DataType::kString);
+  Row r{Value::String("Hamburg")};
+  EXPECT_EQ(Func("lower", {Col("name")})->Eval(r, s)->AsString(), "hamburg");
+  EXPECT_EQ(Func("upper", {Col("name")})->Eval(r, s)->AsString(), "HAMBURG");
+  EXPECT_EQ(Func("length", {Col("name")})->Eval(r, s)->AsInt(), 7);
+  EXPECT_EQ(Func("substr", {Col("name"), Lit(int64_t{0}), Lit(int64_t{3})})
+                ->Eval(r, s)
+                ->AsString(),
+            "Ham");
+  EXPECT_EQ(Func("concat", {Col("name"), Lit("!")})->Eval(r, s)->AsString(),
+            "Hamburg!");
+  EXPECT_EQ(
+      Func("coalesce", {Lit(Value::Null()), Col("name")})->Eval(r, s)
+          ->AsString(),
+      "Hamburg");
+  EXPECT_FALSE(Func("nonsense", {Col("name")})->Eval(r, s).ok());
+}
+
+TEST_F(RaTest, PlanToStringIsDescriptive) {
+  auto plan = Filter(ScanTable(orders_), Gt(Col("total"), Lit(50.0)));
+  EXPECT_NE(plan->ToString().find("Filter"), std::string::npos);
+  EXPECT_NE(ScanTable(orders_)->ToString().find("orders"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dipbench

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "src/storage/database.h"
+#include "src/storage/table.h"
+
+namespace dipbench {
+namespace {
+
+Schema CustomerSchema() {
+  Schema s;
+  s.AddColumn("custkey", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString)
+      .AddColumn("balance", DataType::kDouble)
+      .SetPrimaryKey({"custkey"});
+  return s;
+}
+
+Row Cust(int64_t key, const std::string& name, double balance) {
+  return Row{Value::Int(key), Value::String(name), Value::Double(balance)};
+}
+
+TEST(TableTest, InsertAndLookup) {
+  Table t("customer", CustomerSchema());
+  ASSERT_TRUE(t.Insert(Cust(1, "alice", 10.0)).ok());
+  ASSERT_TRUE(t.Insert(Cust(2, "bob", 20.0)).ok());
+  EXPECT_EQ(t.size(), 2u);
+  auto row = t.FindByKey({Value::Int(2)});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].AsString(), "bob");
+  EXPECT_TRUE(t.FindByKey({Value::Int(9)}).status().IsNotFound());
+}
+
+TEST(TableTest, DuplicateKeyRejected) {
+  Table t("customer", CustomerSchema());
+  ASSERT_TRUE(t.Insert(Cust(1, "alice", 10.0)).ok());
+  Status st = t.Insert(Cust(1, "imposter", 0.0));
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TableTest, InsertOrReplaceOverwrites) {
+  Table t("customer", CustomerSchema());
+  ASSERT_TRUE(t.Insert(Cust(1, "alice", 10.0)).ok());
+  ASSERT_TRUE(t.InsertOrReplace(Cust(1, "alice2", 99.0)).ok());
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ((*t.FindByKey({Value::Int(1)}))[1].AsString(), "alice2");
+}
+
+TEST(TableTest, ArityAndTypeChecked) {
+  Table t("customer", CustomerSchema());
+  EXPECT_EQ(t.Insert({Value::Int(1)}).code(), StatusCode::kTypeMismatch);
+  EXPECT_EQ(
+      t.Insert({Value::String("x"), Value::String("y"), Value::Double(1)})
+          .code(),
+      StatusCode::kTypeMismatch);
+}
+
+TEST(TableTest, NonNullableEnforced) {
+  Table t("customer", CustomerSchema());
+  Status st =
+      t.Insert({Value::Null(), Value::String("x"), Value::Double(0.0)});
+  EXPECT_EQ(st.code(), StatusCode::kConstraintViolation);
+}
+
+TEST(TableTest, NullableAllowsNull) {
+  Table t("customer", CustomerSchema());
+  EXPECT_TRUE(t.Insert({Value::Int(5), Value::Null(), Value::Null()}).ok());
+}
+
+TEST(TableTest, DeleteWhere) {
+  Table t("customer", CustomerSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Insert(Cust(i, "c", i * 1.0)).ok());
+  }
+  size_t removed = t.DeleteWhere(
+      [](const Row& r) { return r[0].AsInt() % 2 == 0; });
+  EXPECT_EQ(removed, 5u);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_FALSE(t.ContainsKey({Value::Int(4)}));
+  EXPECT_TRUE(t.ContainsKey({Value::Int(5)}));
+}
+
+TEST(TableTest, KeyReusableAfterDelete) {
+  Table t("customer", CustomerSchema());
+  ASSERT_TRUE(t.Insert(Cust(1, "a", 1.0)).ok());
+  t.DeleteWhere([](const Row&) { return true; });
+  EXPECT_TRUE(t.Insert(Cust(1, "b", 2.0)).ok());
+  EXPECT_EQ((*t.FindByKey({Value::Int(1)}))[1].AsString(), "b");
+}
+
+TEST(TableTest, UpdateWhereMutates) {
+  Table t("customer", CustomerSchema());
+  ASSERT_TRUE(t.Insert(Cust(1, "a", 1.0)).ok());
+  ASSERT_TRUE(t.Insert(Cust(2, "b", 2.0)).ok());
+  auto updated = t.UpdateWhere(
+      [](const Row& r) { return r[0].AsInt() == 2; },
+      [](Row* r) { (*r)[2] = Value::Double(42.0); });
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(*updated, 1u);
+  EXPECT_DOUBLE_EQ((*t.FindByKey({Value::Int(2)}))[2].AsDouble(), 42.0);
+}
+
+TEST(TableTest, UpdateCannotChangePrimaryKey) {
+  Table t("customer", CustomerSchema());
+  ASSERT_TRUE(t.Insert(Cust(1, "a", 1.0)).ok());
+  auto updated = t.UpdateWhere([](const Row&) { return true; },
+                               [](Row* r) { (*r)[0] = Value::Int(2); });
+  EXPECT_EQ(updated.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST(TableTest, ScanAllPreservesInsertionOrder) {
+  Table t("customer", CustomerSchema());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(t.Insert(Cust(i, "c", 0.0)).ok());
+  auto rows = t.ScanAll();
+  ASSERT_EQ(rows.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(rows[i][0].AsInt(), i);
+}
+
+TEST(TableTest, SecondaryIndexLookup) {
+  Table t("customer", CustomerSchema());
+  ASSERT_TRUE(t.Insert(Cust(1, "smith", 1.0)).ok());
+  ASSERT_TRUE(t.Insert(Cust(2, "smith", 2.0)).ok());
+  ASSERT_TRUE(t.Insert(Cust(3, "jones", 3.0)).ok());
+  ASSERT_TRUE(t.CreateIndex("by_name", {"name"}).ok());
+  auto rows = t.LookupIndex("by_name", {Value::String("smith")});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+  // Index stays consistent across deletes.
+  t.DeleteWhere([](const Row& r) { return r[0].AsInt() == 1; });
+  EXPECT_EQ(t.LookupIndex("by_name", {Value::String("smith")})->size(), 1u);
+}
+
+TEST(TableTest, IndexCreatedAfterRowsIndexesExisting) {
+  Table t("customer", CustomerSchema());
+  ASSERT_TRUE(t.Insert(Cust(1, "x", 1.0)).ok());
+  ASSERT_TRUE(t.CreateIndex("by_name", {"name"}).ok());
+  EXPECT_EQ(t.LookupIndex("by_name", {Value::String("x")})->size(), 1u);
+  EXPECT_FALSE(t.CreateIndex("by_name", {"name"}).ok());  // duplicate
+  EXPECT_FALSE(t.CreateIndex("bad", {"zzz"}).ok());       // unknown column
+}
+
+TEST(TableTest, ClearKeepsSchemaAndCounters) {
+  Table t("customer", CustomerSchema());
+  ASSERT_TRUE(t.Insert(Cust(1, "x", 1.0)).ok());
+  uint64_t written = t.rows_written();
+  t.Clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.rows_written(), written);
+  EXPECT_TRUE(t.Insert(Cust(1, "x", 1.0)).ok());
+}
+
+TEST(TableTest, ByteSizeGrows) {
+  Table t("customer", CustomerSchema());
+  size_t empty = t.ByteSize();
+  ASSERT_TRUE(t.Insert(Cust(1, "somebody", 1.0)).ok());
+  EXPECT_GT(t.ByteSize(), empty);
+}
+
+TEST(DatabaseTest, CreateAndGetTable) {
+  Database db("berlin");
+  ASSERT_TRUE(db.CreateTable("customer", CustomerSchema()).ok());
+  EXPECT_TRUE(db.HasTable("customer"));
+  EXPECT_FALSE(db.CreateTable("customer", CustomerSchema()).ok());
+  ASSERT_TRUE(db.GetTable("customer").ok());
+  EXPECT_TRUE(db.GetTable("nope").status().IsNotFound());
+  auto names = db.ListTables();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "customer");
+}
+
+TEST(DatabaseTest, DropTable) {
+  Database db("berlin");
+  ASSERT_TRUE(db.CreateTable("t", CustomerSchema()).ok());
+  EXPECT_TRUE(db.DropTable("t").ok());
+  EXPECT_FALSE(db.HasTable("t"));
+  EXPECT_TRUE(db.DropTable("t").IsNotFound());
+}
+
+TEST(DatabaseTest, InsertTriggerFires) {
+  Database db("cdb");
+  ASSERT_TRUE(db.CreateTable("queue", CustomerSchema()).ok());
+  int fired = 0;
+  ASSERT_TRUE(db.SetInsertTrigger("queue",
+                                  [&fired](Database*, const std::string&,
+                                           const Row& row) {
+                                    fired += static_cast<int>(row[0].AsInt());
+                                    return Status::OK();
+                                  })
+                  .ok());
+  ASSERT_TRUE(db.InsertWithTriggers("queue", Cust(7, "m", 0.0)).ok());
+  EXPECT_EQ(fired, 7);
+  ASSERT_TRUE(db.DropInsertTrigger("queue").ok());
+  ASSERT_TRUE(db.InsertWithTriggers("queue", Cust(8, "m", 0.0)).ok());
+  EXPECT_EQ(fired, 7);  // unchanged
+}
+
+TEST(DatabaseTest, TriggerErrorPropagatesButRowStays) {
+  Database db("cdb");
+  ASSERT_TRUE(db.CreateTable("queue", CustomerSchema()).ok());
+  ASSERT_TRUE(db.SetInsertTrigger("queue",
+                                  [](Database*, const std::string&,
+                                     const Row&) {
+                                    return Status::ValidationError("bad msg");
+                                  })
+                  .ok());
+  Status st = db.InsertWithTriggers("queue", Cust(1, "m", 0.0));
+  EXPECT_TRUE(st.IsValidationError());
+  EXPECT_EQ((*db.GetTable("queue"))->size(), 1u);
+}
+
+TEST(DatabaseTest, StoredProcedures) {
+  Database db("cdb");
+  ASSERT_TRUE(db.CreateTable("t", CustomerSchema()).ok());
+  ASSERT_TRUE(
+      db.RegisterProcedure("sp_add",
+                           [](Database* d, const std::vector<Value>& args) {
+                             Table* t = *d->GetTable("t");
+                             return t->Insert({args[0], Value::String("via_sp"),
+                                               Value::Double(0.0)});
+                           })
+          .ok());
+  EXPECT_TRUE(db.HasProcedure("sp_add"));
+  ASSERT_TRUE(db.CallProcedure("sp_add", {Value::Int(3)}).ok());
+  EXPECT_EQ((*db.GetTable("t"))->size(), 1u);
+  EXPECT_TRUE(db.CallProcedure("nope", {}).IsNotFound());
+  EXPECT_FALSE(db.RegisterProcedure("sp_add", nullptr).ok());
+}
+
+TEST(DatabaseTest, SequencesMonotone) {
+  Database db("x");
+  EXPECT_EQ(db.NextSequenceValue("s"), 1);
+  EXPECT_EQ(db.NextSequenceValue("s"), 2);
+  EXPECT_EQ(db.NextSequenceValue("other"), 1);
+}
+
+TEST(DatabaseTest, ClearAllTablesEmptiesEverything) {
+  Database db("x");
+  ASSERT_TRUE(db.CreateTable("a", CustomerSchema()).ok());
+  ASSERT_TRUE(db.CreateTable("b", CustomerSchema()).ok());
+  ASSERT_TRUE((*db.GetTable("a"))->Insert(Cust(1, "x", 0.0)).ok());
+  ASSERT_TRUE((*db.GetTable("b"))->Insert(Cust(1, "x", 0.0)).ok());
+  EXPECT_EQ(db.TotalRows(), 2u);
+  db.ClearAllTables();
+  EXPECT_EQ(db.TotalRows(), 0u);
+  EXPECT_TRUE(db.HasTable("a"));
+}
+
+TEST(DatabaseTest, IoCountersAggregate) {
+  Database db("x");
+  ASSERT_TRUE(db.CreateTable("a", CustomerSchema()).ok());
+  ASSERT_TRUE((*db.GetTable("a"))->Insert(Cust(1, "x", 0.0)).ok());
+  (*db.GetTable("a"))->ScanAll();
+  EXPECT_GE(db.TotalRowsWritten(), 1u);
+  EXPECT_GE(db.TotalRowsRead(), 1u);
+}
+
+}  // namespace
+}  // namespace dipbench

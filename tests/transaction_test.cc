@@ -1,0 +1,141 @@
+// Tests for table state snapshots and database transactions
+// (begin / commit / rollback), including a partial-load protection demo.
+
+#include <gtest/gtest.h>
+
+#include "src/storage/database.h"
+
+namespace dipbench {
+namespace {
+
+Schema KvSchema() {
+  Schema s;
+  s.AddColumn("k", DataType::kInt64, false)
+      .AddColumn("v", DataType::kString)
+      .SetPrimaryKey({"k"});
+  return s;
+}
+
+Row Kv(int64_t k, const std::string& v) {
+  return Row{Value::Int(k), Value::String(v)};
+}
+
+TEST(TableStateTest, SaveRestoreRoundTrip) {
+  Table t("t", KvSchema());
+  ASSERT_TRUE(t.Insert(Kv(1, "a")).ok());
+  ASSERT_TRUE(t.Insert(Kv(2, "b")).ok());
+  Table::State state = t.SaveState();
+
+  ASSERT_TRUE(t.Insert(Kv(3, "c")).ok());
+  t.DeleteWhere([](const Row& r) { return r[0].AsInt() == 1; });
+  ASSERT_TRUE(t.InsertOrReplace(Kv(2, "B")).ok());
+  EXPECT_EQ(t.size(), 2u);
+
+  t.RestoreState(std::move(state));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ((*t.FindByKey({Value::Int(1)}))[1].AsString(), "a");
+  EXPECT_EQ((*t.FindByKey({Value::Int(2)}))[1].AsString(), "b");
+  EXPECT_FALSE(t.ContainsKey({Value::Int(3)}));
+  // The PK index is functional after restore: duplicate rejected, new ok.
+  EXPECT_EQ(t.Insert(Kv(1, "dup")).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(t.Insert(Kv(3, "c2")).ok());
+}
+
+TEST(TableStateTest, SecondaryIndexRestored) {
+  Table t("t", KvSchema());
+  ASSERT_TRUE(t.CreateIndex("by_v", {"v"}).ok());
+  ASSERT_TRUE(t.Insert(Kv(1, "x")).ok());
+  Table::State state = t.SaveState();
+  ASSERT_TRUE(t.Insert(Kv(2, "x")).ok());
+  EXPECT_EQ(t.LookupIndex("by_v", {Value::String("x")})->size(), 2u);
+  t.RestoreState(std::move(state));
+  EXPECT_EQ(t.LookupIndex("by_v", {Value::String("x")})->size(), 1u);
+}
+
+TEST(TableStateTest, IndexCreatedAfterSnapshotIsRebuilt) {
+  Table t("t", KvSchema());
+  ASSERT_TRUE(t.Insert(Kv(1, "x")).ok());
+  Table::State state = t.SaveState();
+  ASSERT_TRUE(t.CreateIndex("late", {"v"}).ok());
+  ASSERT_TRUE(t.Insert(Kv(2, "x")).ok());
+  t.RestoreState(std::move(state));
+  // The late index exists and reflects the restored content.
+  EXPECT_EQ(t.LookupIndex("late", {Value::String("x")})->size(), 1u);
+}
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable("a", KvSchema()).ok());
+    ASSERT_TRUE(db_.CreateTable("b", KvSchema()).ok());
+    ASSERT_TRUE((*db_.GetTable("a"))->Insert(Kv(1, "a1")).ok());
+    ASSERT_TRUE((*db_.GetTable("b"))->Insert(Kv(1, "b1")).ok());
+  }
+  Database db_{"tx"};
+};
+
+TEST_F(TransactionTest, CommitKeepsChanges) {
+  ASSERT_TRUE(db_.BeginTransaction().ok());
+  EXPECT_TRUE(db_.InTransaction());
+  ASSERT_TRUE((*db_.GetTable("a"))->Insert(Kv(2, "a2")).ok());
+  ASSERT_TRUE(db_.Commit().ok());
+  EXPECT_FALSE(db_.InTransaction());
+  EXPECT_EQ((*db_.GetTable("a"))->size(), 2u);
+}
+
+TEST_F(TransactionTest, RollbackRestoresAllTables) {
+  ASSERT_TRUE(db_.BeginTransaction().ok());
+  ASSERT_TRUE((*db_.GetTable("a"))->Insert(Kv(2, "a2")).ok());
+  (*db_.GetTable("b"))->DeleteWhere([](const Row&) { return true; });
+  EXPECT_EQ((*db_.GetTable("b"))->size(), 0u);
+  ASSERT_TRUE(db_.Rollback().ok());
+  EXPECT_EQ((*db_.GetTable("a"))->size(), 1u);
+  EXPECT_EQ((*db_.GetTable("b"))->size(), 1u);
+  EXPECT_EQ((*(*db_.GetTable("b"))->FindByKey({Value::Int(1)}))[1].AsString(),
+            "b1");
+}
+
+TEST_F(TransactionTest, NestedAndStrayTransactionsRejected) {
+  ASSERT_TRUE(db_.BeginTransaction().ok());
+  EXPECT_FALSE(db_.BeginTransaction().ok());
+  ASSERT_TRUE(db_.Commit().ok());
+  EXPECT_FALSE(db_.Commit().ok());
+  EXPECT_FALSE(db_.Rollback().ok());
+}
+
+TEST_F(TransactionTest, DdlRejectedInsideTransaction) {
+  ASSERT_TRUE(db_.BeginTransaction().ok());
+  EXPECT_FALSE(db_.CreateTable("c", KvSchema()).ok());
+  EXPECT_FALSE(db_.DropTable("a").ok());
+  ASSERT_TRUE(db_.Rollback().ok());
+  ASSERT_TRUE(db_.CreateTable("c", KvSchema()).ok());
+}
+
+TEST_F(TransactionTest, SequencesAreNonTransactional) {
+  EXPECT_EQ(db_.NextSequenceValue("s"), 1);
+  ASSERT_TRUE(db_.BeginTransaction().ok());
+  EXPECT_EQ(db_.NextSequenceValue("s"), 2);
+  ASSERT_TRUE(db_.Rollback().ok());
+  EXPECT_EQ(db_.NextSequenceValue("s"), 3);  // not reset by rollback
+}
+
+TEST_F(TransactionTest, ProtectsAgainstPartialLoad) {
+  // An ETL load that fails mid-way: with a transaction the target stays
+  // unchanged instead of holding half the batch.
+  std::vector<Row> batch = {Kv(10, "x"), Kv(11, "y"), Kv(1, "dup!"),
+                            Kv(12, "z")};
+  ASSERT_TRUE(db_.BeginTransaction().ok());
+  Table* a = *db_.GetTable("a");
+  Status load_status;
+  for (const Row& row : batch) {
+    load_status = a->Insert(row);
+    if (!load_status.ok()) break;
+  }
+  ASSERT_FALSE(load_status.ok());  // the duplicate key aborts the batch
+  EXPECT_EQ(a->size(), 3u);        // partial state visible inside the tx
+  ASSERT_TRUE(db_.Rollback().ok());
+  EXPECT_EQ(a->size(), 1u);        // fully restored
+}
+
+}  // namespace
+}  // namespace dipbench

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "src/types/schema.h"
+#include "src/types/value.h"
+
+namespace dipbench {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(ValueTest, FactoryTypes) {
+  EXPECT_EQ(Value::Bool(true).type(), DataType::kBool);
+  EXPECT_EQ(Value::Int(5).type(), DataType::kInt64);
+  EXPECT_EQ(Value::Double(1.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value::String("x").type(), DataType::kString);
+  EXPECT_EQ(Value::Date(20080412).type(), DataType::kDate);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::Int(-7).AsInt(), -7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.25).AsDouble(), 2.25);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  EXPECT_EQ(Value::Date(20080412).AsDate(), 20080412);
+}
+
+TEST(ValueTest, DateYmd) {
+  Value d = Value::DateYmd(2008, 4, 12);
+  EXPECT_EQ(d.AsDate(), 20080412);
+  EXPECT_EQ(*d.DateYear(), 2008);
+  EXPECT_EQ(*d.DateMonth(), 4);
+  EXPECT_EQ(*d.DateDay(), 12);
+}
+
+TEST(ValueTest, DatePartsOnNonDateError) {
+  EXPECT_FALSE(Value::Int(20080412).DateYear().ok());
+}
+
+TEST(ValueTest, NumericConversions) {
+  EXPECT_DOUBLE_EQ(*Value::Int(4).ToNumeric(), 4.0);
+  EXPECT_DOUBLE_EQ(*Value::Bool(true).ToNumeric(), 1.0);
+  EXPECT_FALSE(Value::String("4").ToNumeric().ok());
+  EXPECT_EQ(*Value::Double(8.0).ToInt(), 8);
+  EXPECT_FALSE(Value::Double(8.5).ToInt().ok());
+}
+
+TEST(ValueTest, CastRoundTrips) {
+  EXPECT_EQ(Value::Int(42).CastTo(DataType::kString)->AsString(), "42");
+  EXPECT_EQ(Value::String("42").CastTo(DataType::kInt64)->AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::String("2.5").CastTo(DataType::kDouble)->AsDouble(),
+                   2.5);
+  EXPECT_EQ(Value::Int(20080412).CastTo(DataType::kDate)->AsDate(), 20080412);
+  EXPECT_TRUE(Value::Null().CastTo(DataType::kInt64)->is_null());
+  EXPECT_FALSE(Value::String("abc").CastTo(DataType::kInt64).ok());
+}
+
+TEST(ValueTest, ParseVariants) {
+  EXPECT_TRUE(Value::Parse("true", DataType::kBool)->AsBool());
+  EXPECT_EQ(Value::Parse(" 17 ", DataType::kInt64)->AsInt(), 17);
+  EXPECT_TRUE(Value::Parse("", DataType::kInt64)->is_null());
+  EXPECT_FALSE(Value::Parse("zz", DataType::kDouble).ok());
+  EXPECT_EQ(Value::Parse("raw", DataType::kString)->AsString(), "raw");
+}
+
+TEST(ValueTest, CompareOrdering) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);  // numeric family
+  EXPECT_GT(Value::String("b").Compare(Value::String("a")), 0);
+  // NULL sorts before everything.
+  EXPECT_LT(Value::Null().Compare(Value::Int(-1000)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Double(3.0).Hash());
+  EXPECT_EQ(Value::String("k").Hash(), Value::String("k").Hash());
+}
+
+TEST(ValueTest, ByteSize) {
+  EXPECT_EQ(Value::Int(1).ByteSize(), 8u);
+  EXPECT_EQ(Value::String("abcd").ByteSize(), 8u);  // 4 chars + 4 overhead
+  EXPECT_EQ(Value::Null().ByteSize(), 1u);
+}
+
+TEST(SchemaTest, BuilderAndLookup) {
+  Schema s;
+  s.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString)
+      .SetPrimaryKey({"id"});
+  EXPECT_EQ(s.num_columns(), 2u);
+  EXPECT_EQ(*s.IndexOf("name"), 1u);
+  EXPECT_FALSE(s.IndexOf("missing").has_value());
+  ASSERT_EQ(s.primary_key().size(), 1u);
+  EXPECT_EQ(s.primary_key()[0], 0u);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsDuplicates) {
+  Schema s;
+  s.AddColumn("x", DataType::kInt64).AddColumn("x", DataType::kInt64);
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, RequireIndexOfErrorNamesColumn) {
+  Schema s;
+  s.AddColumn("a", DataType::kInt64);
+  auto r = s.RequireIndexOf("b");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("b"), std::string::npos);
+}
+
+TEST(RowTest, HashAndEquality) {
+  Row a{Value::Int(1), Value::String("x")};
+  Row b{Value::Int(1), Value::String("x")};
+  Row c{Value::Int(2), Value::String("x")};
+  EXPECT_TRUE(RowsEqual(a, b));
+  EXPECT_FALSE(RowsEqual(a, c));
+  EXPECT_EQ(HashRow(a), HashRow(b));
+}
+
+TEST(RowTest, KeyHashSelectsColumns) {
+  Row a{Value::Int(1), Value::String("x")};
+  Row b{Value::Int(1), Value::String("y")};
+  EXPECT_EQ(HashRowKey(a, {0}), HashRowKey(b, {0}));
+  EXPECT_NE(HashRowKey(a, {1}), HashRowKey(b, {1}));
+}
+
+TEST(RowTest, ToStringJoins) {
+  Row a{Value::Int(1), Value::String("x"), Value::Null()};
+  EXPECT_EQ(RowToString(a), "1,x,");
+}
+
+}  // namespace
+}  // namespace dipbench
