@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_schedule.dir/bench_fig8_schedule.cc.o"
+  "CMakeFiles/bench_fig8_schedule.dir/bench_fig8_schedule.cc.o.d"
+  "bench_fig8_schedule"
+  "bench_fig8_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

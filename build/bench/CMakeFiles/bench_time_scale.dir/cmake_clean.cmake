@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_time_scale.dir/bench_time_scale.cc.o"
+  "CMakeFiles/bench_time_scale.dir/bench_time_scale.cc.o.d"
+  "bench_time_scale"
+  "bench_time_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_time_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workers.dir/bench_workers.cc.o"
+  "CMakeFiles/bench_workers.dir/bench_workers.cc.o.d"
+  "bench_workers"
+  "bench_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

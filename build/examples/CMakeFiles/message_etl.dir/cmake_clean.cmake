@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_etl.dir/message_etl.cpp.o"
+  "CMakeFiles/message_etl.dir/message_etl.cpp.o.d"
+  "message_etl"
+  "message_etl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_etl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

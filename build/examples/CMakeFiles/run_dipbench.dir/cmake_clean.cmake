@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_dipbench.dir/run_dipbench.cpp.o"
+  "CMakeFiles/run_dipbench.dir/run_dipbench.cpp.o.d"
+  "run_dipbench"
+  "run_dipbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_dipbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/dipbench.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/dipbench.dir/common/random.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/dipbench.dir/common/status.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/dipbench.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/dipbench.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/operators.cc" "src/CMakeFiles/dipbench.dir/core/operators.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/core/operators.cc.o.d"
+  "/root/repo/src/dipbench/client.cc" "src/CMakeFiles/dipbench.dir/dipbench/client.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/dipbench/client.cc.o.d"
+  "/root/repo/src/dipbench/config.cc" "src/CMakeFiles/dipbench.dir/dipbench/config.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/dipbench/config.cc.o.d"
+  "/root/repo/src/dipbench/datagen.cc" "src/CMakeFiles/dipbench.dir/dipbench/datagen.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/dipbench/datagen.cc.o.d"
+  "/root/repo/src/dipbench/monitor.cc" "src/CMakeFiles/dipbench.dir/dipbench/monitor.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/dipbench/monitor.cc.o.d"
+  "/root/repo/src/dipbench/processes.cc" "src/CMakeFiles/dipbench.dir/dipbench/processes.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/dipbench/processes.cc.o.d"
+  "/root/repo/src/dipbench/quality.cc" "src/CMakeFiles/dipbench.dir/dipbench/quality.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/dipbench/quality.cc.o.d"
+  "/root/repo/src/dipbench/scenario.cc" "src/CMakeFiles/dipbench.dir/dipbench/scenario.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/dipbench/scenario.cc.o.d"
+  "/root/repo/src/dipbench/schedule.cc" "src/CMakeFiles/dipbench.dir/dipbench/schedule.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/dipbench/schedule.cc.o.d"
+  "/root/repo/src/dipbench/schemas.cc" "src/CMakeFiles/dipbench.dir/dipbench/schemas.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/dipbench/schemas.cc.o.d"
+  "/root/repo/src/dipbench/verify.cc" "src/CMakeFiles/dipbench.dir/dipbench/verify.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/dipbench/verify.cc.o.d"
+  "/root/repo/src/net/channel.cc" "src/CMakeFiles/dipbench.dir/net/channel.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/net/channel.cc.o.d"
+  "/root/repo/src/net/endpoint.cc" "src/CMakeFiles/dipbench.dir/net/endpoint.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/net/endpoint.cc.o.d"
+  "/root/repo/src/net/file_endpoint.cc" "src/CMakeFiles/dipbench.dir/net/file_endpoint.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/net/file_endpoint.cc.o.d"
+  "/root/repo/src/ra/expr.cc" "src/CMakeFiles/dipbench.dir/ra/expr.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/ra/expr.cc.o.d"
+  "/root/repo/src/ra/plan.cc" "src/CMakeFiles/dipbench.dir/ra/plan.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/ra/plan.cc.o.d"
+  "/root/repo/src/sql/engine.cc" "src/CMakeFiles/dipbench.dir/sql/engine.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/sql/engine.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/dipbench.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/dipbench.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/dipbench.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/dipbench.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/storage/table.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/dipbench.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/dipbench.dir/types/value.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/types/value.cc.o.d"
+  "/root/repo/src/xml/bridge.cc" "src/CMakeFiles/dipbench.dir/xml/bridge.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/xml/bridge.cc.o.d"
+  "/root/repo/src/xml/node.cc" "src/CMakeFiles/dipbench.dir/xml/node.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/xml/node.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/dipbench.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/path.cc" "src/CMakeFiles/dipbench.dir/xml/path.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/xml/path.cc.o.d"
+  "/root/repo/src/xml/stx.cc" "src/CMakeFiles/dipbench.dir/xml/stx.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/xml/stx.cc.o.d"
+  "/root/repo/src/xml/xsd.cc" "src/CMakeFiles/dipbench.dir/xml/xsd.cc.o" "gcc" "src/CMakeFiles/dipbench.dir/xml/xsd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

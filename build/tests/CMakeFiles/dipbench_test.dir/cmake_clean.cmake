@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dipbench_test.dir/dipbench_test.cc.o"
+  "CMakeFiles/dipbench_test.dir/dipbench_test.cc.o.d"
+  "dipbench_test"
+  "dipbench_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dipbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

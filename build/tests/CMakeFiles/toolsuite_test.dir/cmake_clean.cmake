@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolsuite_test.dir/toolsuite_test.cc.o"
+  "CMakeFiles/toolsuite_test.dir/toolsuite_test.cc.o.d"
+  "toolsuite_test"
+  "toolsuite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolsuite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
