@@ -9,14 +9,36 @@
 //  * highly concurrent message types (P01/P02/P04/P08/P10) sit far lower;
 //  * data-intensive types carry a visibly larger standard deviation.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
+#include "src/common/string_util.h"
 #include "src/dipbench/client.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/export.h"
 
 using namespace dipbench;
 
-int main() {
+namespace {
+
+/// --flag=<value> parsing for the observability outputs.
+std::string FlagValue(int argc, char** argv, const char* flag) {
+  size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return std::string(argv[i] + len + 1);
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   ScaleConfig config;
   config.datasize = 0.05;
   config.time_scale = 1.0;
@@ -25,6 +47,8 @@ int main() {
   if (const char* p = std::getenv("DIPBENCH_PERIODS")) {
     config.periods = std::atoi(p);
   }
+  const std::string trace_out = FlagValue(argc, argv, "--trace-out");
+  const std::string metrics_out = FlagValue(argc, argv, "--metrics-out");
 
   auto scenario_result = Scenario::Create();
   if (!scenario_result.ok()) {
@@ -34,6 +58,19 @@ int main() {
   auto scenario = std::move(scenario_result).ValueOrDie();
   core::FederatedEngine engine(scenario->network());
   Client client(scenario.get(), &engine, config);
+
+  // Observability is opt-in: without the flags no recorder exists and the
+  // run is byte-identical to an uninstrumented binary.
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry registry;
+  const bool observed = !trace_out.empty() || !metrics_out.empty();
+  if (observed) {
+    obs::ObsContext obs(trace_out.empty() ? nullptr : &recorder, &registry);
+    engine.SetObserver(obs);
+    scenario->network()->SetObserver(obs);
+    client.SetObserver(obs);
+  }
+
   auto result = client.Run();
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
@@ -75,5 +112,55 @@ int main() {
               "bulk = %.2f vs msg = %.2f : %s\n",
               bulk_dev / bulk_n, msg_dev / msg_n,
               bulk_dev / bulk_n > msg_dev / msg_n ? "OK" : "VIOLATED");
+
+  if (observed) {
+    std::printf("\n%s", Monitor::RenderPercentiles(registry, config).c_str());
+
+    // Reconcile the trace against the Monitor: summed leaf-span durations
+    // per category must match the per-process cost totals within 1%.
+    if (!trace_out.empty()) {
+      double trace_cc = config.MsToTu(
+          recorder.CategoryTotalMs(obs::Category::kComm));
+      double trace_cm = config.MsToTu(
+          recorder.CategoryTotalMs(obs::Category::kManagement));
+      double trace_cp = config.MsToTu(
+          recorder.CategoryTotalMs(obs::Category::kProcessing));
+      double mon_cc = 0, mon_cm = 0, mon_cp = 0;
+      for (const auto& m : result->per_process) {
+        mon_cc += m.avg_cc_tu * m.instances;
+        mon_cm += m.avg_cm_tu * m.instances;
+        mon_cp += m.avg_cp_tu * m.instances;
+      }
+      auto close = [](double a, double b) {
+        return std::abs(a - b) <= 0.01 * std::max(1.0, std::max(a, b));
+      };
+      std::printf("\ntrace/monitor reconciliation [tu]: Cc %.1f/%.1f, "
+                  "Cm %.1f/%.1f, Cp %.1f/%.1f : %s\n",
+                  trace_cc, mon_cc, trace_cm, mon_cm, trace_cp, mon_cp,
+                  close(trace_cc, mon_cc) && close(trace_cm, mon_cm) &&
+                          close(trace_cp, mon_cp)
+                      ? "OK"
+                      : "VIOLATED");
+      Status st = obs::WriteFileOrError(trace_out,
+                                        obs::ToChromeTraceJson(recorder));
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %zu spans to %s\n", recorder.span_count(),
+                  trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      std::string dump = EndsWith(metrics_out, ".json")
+                             ? obs::MetricsToJson(registry)
+                             : obs::MetricsToCsv(registry);
+      Status st = obs::WriteFileOrError(metrics_out, dump);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote metrics to %s\n", metrics_out.c_str());
+    }
+  }
   return 0;
 }

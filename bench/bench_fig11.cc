@@ -10,14 +10,31 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
+#include "src/common/string_util.h"
 #include "src/dipbench/client.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/export.h"
 
 using namespace dipbench;
 
 namespace {
 
-Result<BenchmarkResult> RunAt(double datasize, int periods) {
+/// --flag=<value> parsing for the observability outputs.
+std::string FlagValue(int argc, char** argv, const char* flag) {
+  size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return std::string(argv[i] + len + 1);
+    }
+  }
+  return "";
+}
+
+Result<BenchmarkResult> RunAt(double datasize, int periods,
+                              obs::ObsContext obs = obs::ObsContext()) {
   ScaleConfig config;
   config.datasize = datasize;
   config.time_scale = 1.0;
@@ -26,16 +43,32 @@ Result<BenchmarkResult> RunAt(double datasize, int periods) {
   DIP_ASSIGN_OR_RETURN(auto scenario, Scenario::Create());
   core::FederatedEngine engine(scenario->network());
   Client client(scenario.get(), &engine, config);
+  if (obs.enabled()) {
+    engine.SetObserver(obs);
+    scenario->network()->SetObserver(obs);
+    client.SetObserver(obs);
+  }
   return client.Run();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   int periods = 100;
   if (const char* p = std::getenv("DIPBENCH_PERIODS")) periods = std::atoi(p);
+  const std::string trace_out = FlagValue(argc, argv, "--trace-out");
+  const std::string metrics_out = FlagValue(argc, argv, "--metrics-out");
 
-  auto fig11 = RunAt(0.1, periods);
+  // The observer (when requested) watches the Fig. 11 run (d = 0.1); the
+  // d = 0.05 comparison run stays unobserved.
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry registry;
+  obs::ObsContext obs;
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    obs = obs::ObsContext(trace_out.empty() ? nullptr : &recorder, &registry);
+  }
+
+  auto fig11 = RunAt(0.1, periods, obs);
   auto fig10 = RunAt(0.05, periods);
   if (!fig11.ok() || !fig10.ok()) {
     std::fprintf(stderr, "%s %s\n", fig11.status().ToString().c_str(),
@@ -106,5 +139,30 @@ int main() {
               "%s\n",
               e2_reldev_drop / e2_n,
               e2_reldev_drop / e2_n >= -0.01 ? "OK" : "VIOLATED");
+
+  if (!trace_out.empty()) {
+    Status st =
+        obs::WriteFileOrError(trace_out, obs::ToChromeTraceJson(recorder));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %zu spans (d = 0.1 run) to %s\n",
+                recorder.span_count(), trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::string dump = EndsWith(metrics_out, ".json")
+                           ? obs::MetricsToJson(registry)
+                           : obs::MetricsToCsv(registry);
+    Status st = obs::WriteFileOrError(metrics_out, dump);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    ScaleConfig pconfig;
+    pconfig.datasize = 0.1;
+    std::printf("\n%s", Monitor::RenderPercentiles(registry, pconfig).c_str());
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
   return 0;
 }

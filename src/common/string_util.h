@@ -29,6 +29,11 @@ std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2))
 /// Escapes the five XML special characters (& < > " ').
 std::string XmlEscape(std::string_view input);
 
+/// RFC-4180 CSV field escaping: fields containing a comma, double quote,
+/// CR or LF are wrapped in double quotes with embedded quotes doubled;
+/// all other fields pass through unchanged.
+std::string CsvEscape(std::string_view field);
+
 }  // namespace dipbench
 
 #endif  // DIPBENCH_COMMON_STRING_UTIL_H_

@@ -50,6 +50,17 @@ Status EngineBase::RunUntilIdle() {
 
     ProcessContext ctx(network_, &weights_);
     ctx.EnableTracing(tracing_enabled_);
+    ctx.BindObs(obs_, start, static_cast<int>(worker));
+    uint64_t instance_span = 0;
+    if (obs_.trace() != nullptr) {
+      instance_span = obs_.trace()->BeginSpan(
+          "instance " + def.id, obs::Category::kNone, start,
+          static_cast<int>(worker));
+      obs_.trace()->Annotate(instance_span, "period",
+                             std::to_string(ev.period));
+      obs_.trace()->Annotate(instance_span, "wait_ms",
+                             std::to_string(wait_ms));
+    }
     if (ev.message != nullptr) {
       ctx.SetInput(MtmMessage::FromXml(ev.message));
     }
@@ -61,8 +72,10 @@ Status EngineBase::RunUntilIdle() {
     if (plan_cache_enabled_) {
       if (cached_plans_.insert(def.id).second) {
         // First instance: full instantiation, plan enters the cache.
+        obs_.Count("engine.plan_cache.misses");
       } else {
         plan_ms *= kCachedPlanFraction;
+        obs_.Count("engine.plan_cache.hits");
       }
     }
     ctx.ChargeManagement(plan_ms + weights_.scheduling_ms +
@@ -84,6 +97,23 @@ Status EngineBase::RunUntilIdle() {
     rec.trace = std::move(ctx.trace());
     rec.ok = st.ok();
     if (!st.ok()) rec.error = st.ToString();
+
+    if (obs_.trace() != nullptr) {
+      if (!st.ok()) obs_.trace()->Annotate(instance_span, "error", rec.error);
+      obs_.trace()->EndSpan(instance_span, start + ctx.elapsed_ms());
+    }
+    if (obs_.metrics() != nullptr) {
+      obs::MetricsRegistry* m = obs_.metrics();
+      m->GetCounter("engine.instances")->Increment();
+      if (!st.ok()) m->GetCounter("engine.instance_errors")->Increment();
+      auto buckets = obs::DefaultLatencyBucketsMs();
+      m->GetHistogram("instance.cc_ms", buckets)->Observe(rec.costs.cc_ms);
+      m->GetHistogram("instance.cm_ms", buckets)->Observe(rec.costs.cm_ms);
+      m->GetHistogram("instance.cp_ms", buckets)->Observe(rec.costs.cp_ms);
+      m->GetHistogram("instance.total_ms", buckets)
+          ->Observe(rec.costs.Total());
+      m->GetHistogram("instance.wait_ms", buckets)->Observe(rec.wait_ms);
+    }
     records_.push_back(std::move(rec));
 
     worker_free_[worker] = start + ctx.elapsed_ms();

@@ -121,6 +121,22 @@ class EngineBase : public IntegrationSystem {
   void EnableTracing(bool enabled) { tracing_enabled_ = enabled; }
   bool tracing_enabled() const { return tracing_enabled_; }
 
+  /// Attaches an observer (src/obs): every executed instance emits a span
+  /// per instance / operator / cost charge on the recorder (track = worker
+  /// slot) and per-instance cost histograms + plan-cache and instance
+  /// counters on the registry. The default-constructed ObsContext disables
+  /// all of it; costs and records are identical either way.
+  void SetObserver(obs::ObsContext obs) {
+    obs_ = obs;
+    if (obs_.trace() != nullptr) {
+      for (size_t i = 0; i < worker_free_.size(); ++i) {
+        obs_.trace()->NameTrack(static_cast<int>(i),
+                                name_ + " worker " + std::to_string(i));
+      }
+    }
+  }
+  const obs::ObsContext& observer() const { return obs_; }
+
  protected:
   /// Runs one instance's body through the engine-specific vehicle. The
   /// context has the input message bound already; implementations charge
@@ -153,6 +169,7 @@ class EngineBase : public IntegrationSystem {
   bool plan_cache_enabled_ = false;
   bool tracing_enabled_ = false;
   std::set<std::string> cached_plans_;
+  obs::ObsContext obs_;
 };
 
 /// A native dataflow integration engine: interprets the MTM graph directly.

@@ -9,7 +9,17 @@ namespace dipbench {
 namespace core {
 
 Status ExecuteBody(const std::vector<OpPtr>& body, ProcessContext* ctx) {
+  obs::TraceRecorder* rec = ctx->obs().trace();
   for (const auto& op : body) {
+    // Structural span around the dispatch: nested bodies (SWITCH, FORK,
+    // SUBPROCESS) recurse through here, so operator spans nest naturally
+    // under their composite's span on the same track.
+    uint64_t span_id = 0;
+    if (rec != nullptr) {
+      span_id = rec->BeginSpan(op->Describe(), obs::Category::kNone,
+                               ctx->ObsNow(), ctx->obs_track());
+    }
+    ctx->obs().Count("engine.operator_dispatches");
     if (ctx->tracing()) {
       CostBreakdown before = ctx->costs();
       Status st = op->Execute(ctx);
@@ -19,9 +29,12 @@ Status ExecuteBody(const std::vector<OpPtr>& body, ProcessContext* ctx) {
       trace.cm_ms = ctx->costs().cm_ms - before.cm_ms;
       trace.cp_ms = ctx->costs().cp_ms - before.cp_ms;
       ctx->AddTrace(std::move(trace));
+      if (rec != nullptr) rec->EndSpan(span_id, ctx->ObsNow());
       DIP_RETURN_NOT_OK(st.WithContext(op->Describe()));
     } else {
-      DIP_RETURN_NOT_OK(op->Execute(ctx).WithContext(op->Describe()));
+      Status st = op->Execute(ctx);
+      if (rec != nullptr) rec->EndSpan(span_id, ctx->ObsNow());
+      DIP_RETURN_NOT_OK(st.WithContext(op->Describe()));
     }
   }
   return Status::OK();

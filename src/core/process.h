@@ -10,6 +10,7 @@
 #include "src/core/cost.h"
 #include "src/core/message.h"
 #include "src/net/endpoint.h"
+#include "src/obs/obs.h"
 
 namespace dipbench {
 namespace core {
@@ -72,29 +73,48 @@ class ProcessContext {
   const MtmMessage& input() const { return input_; }
 
   /// --- cost accounting (C_p derived from work, C_c from NetStats) ---
+  /// Every ledger entry optionally emits one category-tagged leaf span on
+  /// the bound TraceRecorder, so the per-category sum over leaf spans
+  /// reconciles with the cost totals exactly (the categories never flow
+  /// through any other path).
   void ChargeRows(uint64_t rows) {
     double ms = weights_->per_row_ms * weights_->relational_factor *
                 static_cast<double>(rows);
     costs_.cp_ms += ms;
+    EmitCostSpan("rows", obs::Category::kProcessing, ms);
     elapsed_ms_ += ms;
   }
   void ChargeXmlNodes(uint64_t nodes) {
     double ms = weights_->per_xml_node_ms * weights_->xml_factor *
                 static_cast<double>(nodes);
     costs_.cp_ms += ms;
+    EmitCostSpan("xml", obs::Category::kProcessing, ms);
     elapsed_ms_ += ms;
   }
   void ChargeOperator() {
     costs_.cp_ms += weights_->per_operator_ms;
+    EmitCostSpan("dispatch", obs::Category::kProcessing,
+                 weights_->per_operator_ms);
     elapsed_ms_ += weights_->per_operator_ms;
   }
   void ChargeComm(const net::NetStats& stats) {
     costs_.cc_ms += stats.comm_ms;
+    if (obs_.trace() != nullptr && stats.comm_ms > 0) {
+      uint64_t id = obs_.trace()->AddCompleteSpan(
+          "external round-trip", obs::Category::kComm,
+          obs_base_ms_ + elapsed_ms_, obs_base_ms_ + elapsed_ms_ +
+          stats.comm_ms, obs_track_);
+      obs_.trace()->Annotate(id, "bytes", std::to_string(stats.bytes));
+      obs_.trace()->Annotate(id, "rows", std::to_string(stats.rows));
+      obs_.trace()->Annotate(id, "interactions",
+                             std::to_string(stats.interactions));
+    }
     elapsed_ms_ += stats.comm_ms;
     net_.Add(stats);
   }
   void ChargeManagement(double ms) {
     costs_.cm_ms += ms;
+    EmitCostSpan("management", obs::Category::kManagement, ms);
     elapsed_ms_ += ms;
   }
 
@@ -114,7 +134,30 @@ class ProcessContext {
   std::vector<OperatorTrace>& trace() { return trace_; }
   const std::vector<OperatorTrace>& trace() const { return trace_; }
 
+  /// --- observability (src/obs) ---
+  /// Binds the instance to an observer: spans emitted from this context
+  /// are positioned at `base_ms + elapsed_ms()` on `track` (the engine
+  /// passes the instance's virtual start time and worker slot). A
+  /// default-constructed ObsContext keeps everything disabled.
+  void BindObs(obs::ObsContext obs, VirtualTime base_ms, int track) {
+    obs_ = obs;
+    obs_base_ms_ = base_ms;
+    obs_track_ = track;
+  }
+  const obs::ObsContext& obs() const { return obs_; }
+  int obs_track() const { return obs_track_; }
+  /// Current position of this instance on the virtual timeline.
+  VirtualTime ObsNow() const { return obs_base_ms_ + elapsed_ms_; }
+
  private:
+  void EmitCostSpan(const char* what, obs::Category category, double ms) {
+    if (obs_.trace() != nullptr && ms > 0) {
+      obs_.trace()->AddCompleteSpan(what, category, obs_base_ms_ + elapsed_ms_,
+                                    obs_base_ms_ + elapsed_ms_ + ms,
+                                    obs_track_);
+    }
+  }
+
   net::Network* network_;
   const CostWeights* weights_;
   std::map<std::string, MtmMessage> vars_;
@@ -125,6 +168,9 @@ class ProcessContext {
   QualityCounters quality_;
   bool tracing_ = false;
   std::vector<OperatorTrace> trace_;
+  obs::ObsContext obs_;
+  VirtualTime obs_base_ms_ = 0.0;
+  int obs_track_ = 0;
 };
 
 /// One MTM operator. Operators are immutable and shared across instances;

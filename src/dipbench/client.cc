@@ -18,12 +18,27 @@ double BenchmarkResult::NavgPlus(const std::string& process_id) const {
   return 0.0;
 }
 
+namespace {
+
+/// Render lane for the Client's period/stream spans — far above any
+/// plausible worker-slot track id.
+constexpr int kClientTrack = 96;
+
+}  // namespace
+
 Client::Client(Scenario* scenario, core::IntegrationSystem* engine,
                const ScaleConfig& config)
     : scenario_(scenario),
       engine_(engine),
       config_(config),
       initializer_(scenario, config) {}
+
+void Client::SetObserver(obs::ObsContext obs) {
+  obs_ = obs;
+  if (obs_.trace() != nullptr) {
+    obs_.trace()->NameTrack(kClientTrack, "client schedule");
+  }
+}
 
 Status Client::DeployProcesses() {
   for (const auto& def : BuildProcesses()) {
@@ -60,6 +75,15 @@ Status Client::SubmitSeries(const std::string& process_id, int k,
 }
 
 Status Client::RunPeriod(int k) {
+  obs::TraceRecorder* rec = obs_.trace();
+  uint64_t period_span = 0;
+  if (rec != nullptr) {
+    period_span = rec->BeginSpan("period " + std::to_string(k),
+                                 obs::Category::kNone, engine_->Now(),
+                                 kClientTrack);
+  }
+  obs_.Count("client.periods");
+
   // Uninitialize all external systems + initialize the source systems.
   DIP_RETURN_NOT_OK(initializer_.InitializePeriod(k));
 
@@ -93,25 +117,46 @@ Status Client::RunPeriod(int k) {
   DIP_RETURN_NOT_OK(single("P07", t0 + config_.TuToMs(end_p04) + 3 * gap));
   double end_p08 = Schedule::SeriesEndTu("P08", k, d);
   DIP_RETURN_NOT_OK(single("P09", t0 + config_.TuToMs(end_p08) + gap));
+  uint64_t stream_ab = 0;
+  if (rec != nullptr) {
+    stream_ab = rec->BeginSpan("streams A+B", obs::Category::kNone, t0,
+                               kClientTrack);
+  }
   DIP_RETURN_NOT_OK(engine_->RunUntilIdle());
 
   // P11 = tau_1(Stream B): after the whole stream drained.
   DIP_RETURN_NOT_OK(single("P11", engine_->Now() + gap));
   DIP_RETURN_NOT_OK(engine_->RunUntilIdle());
+  if (rec != nullptr) rec->EndSpan(stream_ab, engine_->Now());
 
   // --- Stream C (serialized) ---
   double t0_c = engine_->Now() + gap;
+  uint64_t stream_c = 0;
+  if (rec != nullptr) {
+    stream_c = rec->BeginSpan("stream C", obs::Category::kNone, t0_c,
+                              kClientTrack);
+  }
   DIP_RETURN_NOT_OK(single("P12", t0_c));
   DIP_RETURN_NOT_OK(engine_->RunUntilIdle());
   DIP_RETURN_NOT_OK(single("P13", std::max(engine_->Now(),
                                            t0_c + config_.TuToMs(10.0))));
   DIP_RETURN_NOT_OK(engine_->RunUntilIdle());
+  if (rec != nullptr) rec->EndSpan(stream_c, engine_->Now());
 
   // --- Stream D (serialized) ---
+  uint64_t stream_d = 0;
+  if (rec != nullptr) {
+    stream_d = rec->BeginSpan("stream D", obs::Category::kNone,
+                              engine_->Now() + gap, kClientTrack);
+  }
   DIP_RETURN_NOT_OK(single("P14", engine_->Now() + gap));
   DIP_RETURN_NOT_OK(engine_->RunUntilIdle());
   DIP_RETURN_NOT_OK(single("P15", engine_->Now() + gap));
   DIP_RETURN_NOT_OK(engine_->RunUntilIdle());
+  if (rec != nullptr) {
+    rec->EndSpan(stream_d, engine_->Now());
+    rec->EndSpan(period_span, engine_->Now());
+  }
   return Status::OK();
 }
 

@@ -51,6 +51,13 @@ class Client {
   /// Deploys the 15 process types (idempotent per engine).
   Status DeployProcesses();
 
+  /// Attaches an observer: each benchmark period and each stream within it
+  /// becomes a span on a dedicated client track, and period counters are
+  /// kept. Pass the same ObsContext to the engine (SetObserver) and the
+  /// scenario network for a full trace; the Client only records its own
+  /// scheduling structure.
+  void SetObserver(obs::ObsContext obs);
+
   /// Runs the complete benchmark: pre, work (config.periods), post.
   Result<BenchmarkResult> Run();
 
@@ -65,6 +72,7 @@ class Client {
   core::IntegrationSystem* engine_;
   ScaleConfig config_;
   Initializer initializer_;
+  obs::ObsContext obs_;
 };
 
 }  // namespace dipbench

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <map>
 
 #include "src/common/string_util.h"
@@ -100,22 +101,83 @@ std::string Monitor::RenderPlot(const std::vector<ProcessMetrics>& metrics,
 }
 
 std::string Monitor::ToCsv(const std::vector<ProcessMetrics>& metrics) {
-  std::string out =
-      "process,instances,errors,navg_tu,stddev_tu,navg_plus_tu,"
-      "cc_tu,cm_tu,cp_tu,wait_tu,concurrency,"
-      "validation_failures,rows_loaded,messages_rejected,"
-      "duplicates_eliminated\n";
+  // One table of (header, value-producer) pairs: the header row and the
+  // data rows are generated from the same list, so adding a column cannot
+  // desynchronize them. Every field goes through CsvEscape (RFC 4180).
+  using Getter = std::function<std::string(const ProcessMetrics&)>;
+  auto f3 = [](double v) { return StrFormat("%.3f", v); };
+  auto u = [](uint64_t v) {
+    return StrFormat("%llu", static_cast<unsigned long long>(v));
+  };
+  const std::vector<std::pair<const char*, Getter>> columns = {
+      {"process", [](const ProcessMetrics& m) { return m.process_id; }},
+      {"instances",
+       [](const ProcessMetrics& m) { return std::to_string(m.instances); }},
+      {"errors",
+       [](const ProcessMetrics& m) { return std::to_string(m.errors); }},
+      {"navg_tu", [&](const ProcessMetrics& m) { return f3(m.navg_tu); }},
+      {"stddev_tu", [&](const ProcessMetrics& m) { return f3(m.stddev_tu); }},
+      {"navg_plus_tu",
+       [&](const ProcessMetrics& m) { return f3(m.navg_plus_tu); }},
+      {"cc_tu", [&](const ProcessMetrics& m) { return f3(m.avg_cc_tu); }},
+      {"cm_tu", [&](const ProcessMetrics& m) { return f3(m.avg_cm_tu); }},
+      {"cp_tu", [&](const ProcessMetrics& m) { return f3(m.avg_cp_tu); }},
+      {"wait_tu", [&](const ProcessMetrics& m) { return f3(m.avg_wait_tu); }},
+      {"concurrency",
+       [&](const ProcessMetrics& m) { return f3(m.avg_concurrency); }},
+      {"validation_failures",
+       [&](const ProcessMetrics& m) { return u(m.quality.validation_failures); }},
+      {"rows_loaded",
+       [&](const ProcessMetrics& m) { return u(m.quality.rows_loaded); }},
+      {"messages_rejected",
+       [&](const ProcessMetrics& m) { return u(m.quality.messages_rejected); }},
+      {"duplicates_eliminated",
+       [&](const ProcessMetrics& m) {
+         return u(m.quality.duplicates_eliminated);
+       }},
+  };
+
+  std::string out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ",";
+    out += CsvEscape(columns[i].first);
+  }
+  out += "\n";
   for (const auto& m : metrics) {
-    out += StrFormat(
-        "%s,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%llu,%llu,%llu,"
-        "%llu\n",
-        m.process_id.c_str(), m.instances, m.errors, m.navg_tu, m.stddev_tu,
-        m.navg_plus_tu, m.avg_cc_tu, m.avg_cm_tu, m.avg_cp_tu, m.avg_wait_tu,
-        m.avg_concurrency,
-        static_cast<unsigned long long>(m.quality.validation_failures),
-        static_cast<unsigned long long>(m.quality.rows_loaded),
-        static_cast<unsigned long long>(m.quality.messages_rejected),
-        static_cast<unsigned long long>(m.quality.duplicates_eliminated));
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i > 0) out += ",";
+      out += CsvEscape(columns[i].second(m));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Monitor::RenderPercentiles(const obs::MetricsRegistry& registry,
+                                       const ScaleConfig& config) {
+  const std::vector<std::pair<const char*, const char*>> rows = {
+      {"Cc (communication)", "instance.cc_ms"},
+      {"Cm (management)", "instance.cm_ms"},
+      {"Cp (processing)", "instance.cp_ms"},
+      {"total", "instance.total_ms"},
+      {"queue wait", "instance.wait_ms"},
+  };
+  std::string out = "Per-instance cost percentiles [in tu]\n";
+  out += StrFormat("%-20s %8s %10s %10s %10s %10s\n", "category", "n", "mean",
+                   "p50", "p95", "p99");
+  bool any = false;
+  for (const auto& [label, name] : rows) {
+    const obs::Histogram* h = registry.FindHistogram(name);
+    if (h == nullptr || h->count() == 0) continue;
+    any = true;
+    out += StrFormat("%-20s %8llu %10.2f %10.2f %10.2f %10.2f\n", label,
+                     static_cast<unsigned long long>(h->count()),
+                     config.MsToTu(h->Mean()), config.MsToTu(h->P50()),
+                     config.MsToTu(h->P95()), config.MsToTu(h->P99()));
+  }
+  if (!any) {
+    return "Per-instance cost percentiles: no instance histograms recorded "
+           "(attach an observer via EngineBase::SetObserver)\n";
   }
   return out;
 }

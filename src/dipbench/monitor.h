@@ -6,6 +6,7 @@
 
 #include "src/core/engine.h"
 #include "src/dipbench/config.h"
+#include "src/obs/metrics.h"
 
 namespace dipbench {
 
@@ -67,8 +68,17 @@ class Monitor {
   static std::string RenderPlot(const std::vector<ProcessMetrics>& metrics,
                                 const ScaleConfig& config);
 
-  /// Machine-readable output: one CSV row per process type.
+  /// Machine-readable output: one CSV row per process type. Fields are
+  /// RFC-4180 escaped; the header row is generated from the same column
+  /// table as the data rows, so the two cannot drift apart.
   static std::string ToCsv(const std::vector<ProcessMetrics>& metrics);
+
+  /// Per-category cost percentiles next to NAVG+: consumes the
+  /// instance.{cc,cm,cp,total,wait}_ms histograms an observed engine fills
+  /// into `registry` (see EngineBase::SetObserver) and reports p50/p95/p99
+  /// in tu. Returns a note when the registry holds no instance histograms.
+  static std::string RenderPercentiles(const obs::MetricsRegistry& registry,
+                                       const ScaleConfig& config);
 
   /// A self-contained gnuplot script (data inlined) that reproduces the
   /// paper's Fig. 10/11 bar plot — the Monitor's "plotting functions for

@@ -10,6 +10,13 @@ double Channel::TransferCost(size_t bytes) {
     double j = rng_.NextDoubleIn(-model_.jitter_frac, model_.jitter_frac);
     cost *= (1.0 + j);
   }
+  if (obs_.metrics() != nullptr) {
+    obs::MetricsRegistry* m = obs_.metrics();
+    m->GetCounter("net.transfers_total")->Increment();
+    m->GetCounter("net.bytes_total")->Increment(bytes);
+    m->GetHistogram("net.transfer_ms", obs::DefaultLatencyBucketsMs())
+        ->Observe(cost);
+  }
   return cost;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "src/common/random.h"
+#include "src/obs/obs.h"
 
 namespace dipbench {
 namespace net {
@@ -27,6 +28,11 @@ class Channel {
 
   const LatencyModel& model() const { return model_; }
 
+  /// Attaches an observer: every transfer bumps net.bytes_total /
+  /// net.transfers_total counters and the net.transfer_ms histogram.
+  /// Purely additive — the priced cost is unchanged.
+  void SetObserver(obs::ObsContext obs) { obs_ = obs; }
+
   /// Communication cost in virtual milliseconds for shipping `bytes` of
   /// payload one way (request or response).
   double TransferCost(size_t bytes);
@@ -37,6 +43,7 @@ class Channel {
  private:
   LatencyModel model_;
   Rng rng_;
+  obs::ObsContext obs_;
 };
 
 /// Cumulative network-side statistics collected per process instance; the

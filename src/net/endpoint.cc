@@ -38,6 +38,13 @@ void Endpoint::Charge(size_t request_bytes, size_t response_bytes,
   s.bytes = request_bytes + response_bytes;
   s.rows = rows;
   s.interactions = 1;
+  if (obs_.metrics() != nullptr) {
+    obs::MetricsRegistry* m = obs_.metrics();
+    m->GetCounter("endpoint." + name_ + ".round_trips")->Increment();
+    m->GetCounter("endpoint." + name_ + ".rows")->Increment(rows);
+    m->GetCounter("endpoint." + name_ + ".bytes")
+        ->Increment(request_bytes + response_bytes);
+  }
   stats->Add(s);
 }
 
@@ -168,6 +175,7 @@ Status Network::AddEndpoint(std::unique_ptr<Endpoint> endpoint) {
   if (endpoints_.count(name) > 0) {
     return Status::AlreadyExists("endpoint " + name);
   }
+  if (obs_.enabled()) endpoint->SetObserver(obs_);
   endpoints_.emplace(name, std::move(endpoint));
   return Status::OK();
 }

@@ -42,6 +42,14 @@ class Endpoint {
   const std::string& name() const { return name_; }
   Database* database() { return db_; }
 
+  /// Attaches an observer to this endpoint and its channel: per-endpoint
+  /// round-trip and external-row counters plus the channel's byte/transfer
+  /// accounting. The priced costs are unchanged.
+  void SetObserver(obs::ObsContext obs) {
+    obs_ = obs;
+    channel_.SetObserver(obs);
+  }
+
   /// Registers named operations.
   Status RegisterQuery(const std::string& op, QueryOp fn);
   Status RegisterUpdate(const std::string& op, UpdateOp fn);
@@ -83,6 +91,7 @@ class Endpoint {
   Database* db_;  // not owned
   Channel channel_;
   double per_row_ms_;
+  obs::ObsContext obs_;
   std::map<std::string, QueryOp> queries_;
   std::map<std::string, UpdateOp> updates_;
 };
@@ -126,8 +135,16 @@ class Network {
   bool Has(const std::string& name) const { return endpoints_.count(name) > 0; }
   std::vector<std::string> ListEndpoints() const;
 
+  /// Forwards the observer to every registered endpoint (and endpoints
+  /// added later).
+  void SetObserver(obs::ObsContext obs) {
+    obs_ = obs;
+    for (auto& [name, ep] : endpoints_) ep->SetObserver(obs);
+  }
+
  private:
   std::map<std::string, std::unique_ptr<Endpoint>> endpoints_;
+  obs::ObsContext obs_;
 };
 
 }  // namespace net

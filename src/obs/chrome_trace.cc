@@ -1,0 +1,51 @@
+#include "src/obs/chrome_trace.h"
+
+#include "src/common/string_util.h"
+#include "src/obs/export.h"
+
+namespace dipbench {
+namespace obs {
+
+namespace {
+
+constexpr int kPid = 1;
+
+}  // namespace
+
+std::string ToChromeTraceJson(const TraceRecorder& recorder) {
+  std::string out = "{\"traceEvents\":[\n";
+  out += StrFormat(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+      "\"args\":{\"name\":\"dipbench\"}}",
+      kPid);
+  for (const auto& [track, name] : recorder.track_names()) {
+    out += StrFormat(
+        ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+        "\"args\":{\"name\":\"%s\"}}",
+        kPid, track, JsonEscape(name).c_str());
+  }
+  for (const Span& s : recorder.spans()) {
+    // Virtual ms -> trace microseconds keeps sub-ms charges visible.
+    out += StrFormat(
+        ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":%d,\"tid\":%d",
+        JsonEscape(s.name).c_str(), CategoryName(s.category),
+        s.begin_ms * 1000.0, s.DurationMs() * 1000.0, kPid, s.track);
+    if (!s.annotations.empty()) {
+      out += ",\"args\":{";
+      for (size_t i = 0; i < s.annotations.size(); ++i) {
+        if (i > 0) out += ",";
+        out += StrFormat("\"%s\":\"%s\"",
+                         JsonEscape(s.annotations[i].first).c_str(),
+                         JsonEscape(s.annotations[i].second).c_str());
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace dipbench

@@ -1,0 +1,22 @@
+#ifndef DIPBENCH_OBS_CHROME_TRACE_H_
+#define DIPBENCH_OBS_CHROME_TRACE_H_
+
+#include <string>
+
+#include "src/obs/trace.h"
+
+namespace dipbench {
+namespace obs {
+
+/// Renders the recorded spans as a Chrome trace-event JSON document
+/// (loadable in chrome://tracing and Perfetto). Every span becomes a
+/// complete ("ph":"X") event: virtual milliseconds map to trace
+/// microseconds, the span's track becomes the tid, categories map to
+/// "Cc"/"Cm"/"Cp" and annotations land in "args". Track names are emitted
+/// as thread_name metadata events.
+std::string ToChromeTraceJson(const TraceRecorder& recorder);
+
+}  // namespace obs
+}  // namespace dipbench
+
+#endif  // DIPBENCH_OBS_CHROME_TRACE_H_

@@ -1,0 +1,122 @@
+#include "src/obs/export.h"
+
+#include <cstdio>
+
+#include "src/common/string_util.h"
+
+namespace dipbench {
+namespace obs {
+
+namespace {
+
+std::string Num(double v) { return StrFormat("%.6g", v); }
+
+}  // namespace
+
+std::string JsonEscape(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  for (unsigned char c : input) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsToCsv(const MetricsRegistry& registry) {
+  std::string out = "kind,name,count,sum,min,max,mean,p50,p95,p99,value\n";
+  for (const auto& [name, c] : registry.counters()) {
+    out += StrFormat("counter,%s,,,,,,,,,%llu\n", CsvEscape(name).c_str(),
+                     static_cast<unsigned long long>(c.value()));
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    out += StrFormat("gauge,%s,,,,,,,,,%s\n", CsvEscape(name).c_str(),
+                     Num(g.value()).c_str());
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    out += StrFormat(
+        "histogram,%s,%llu,%s,%s,%s,%s,%s,%s,%s,\n", CsvEscape(name).c_str(),
+        static_cast<unsigned long long>(h.count()), Num(h.sum()).c_str(),
+        Num(h.min()).c_str(), Num(h.max()).c_str(), Num(h.Mean()).c_str(),
+        Num(h.P50()).c_str(), Num(h.P95()).c_str(), Num(h.P99()).c_str());
+  }
+  return out;
+}
+
+std::string MetricsToJson(const MetricsRegistry& registry) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : registry.counters()) {
+    out += StrFormat("%s\n    \"%s\": %llu", first ? "" : ",",
+                     JsonEscape(name).c_str(),
+                     static_cast<unsigned long long>(c.value()));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : registry.gauges()) {
+    out += StrFormat("%s\n    \"%s\": %s", first ? "" : ",",
+                     JsonEscape(name).c_str(), Num(g.value()).c_str());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : registry.histograms()) {
+    out += StrFormat(
+        "%s\n    \"%s\": {\"count\": %llu, \"sum\": %s, \"min\": %s, "
+        "\"max\": %s, \"mean\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s}",
+        first ? "" : ",", JsonEscape(name).c_str(),
+        static_cast<unsigned long long>(h.count()), Num(h.sum()).c_str(),
+        Num(h.min()).c_str(), Num(h.max()).c_str(), Num(h.Mean()).c_str(),
+        Num(h.P50()).c_str(), Num(h.P95()).c_str(), Num(h.P99()).c_str());
+    first = false;
+  }
+  out += first ? "}\n}" : "\n  }\n}";
+  out += "\n";
+  return out;
+}
+
+Status WriteFileOrError(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != content.size() || close_rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace dipbench

@@ -1,0 +1,33 @@
+#ifndef DIPBENCH_OBS_EXPORT_H_
+#define DIPBENCH_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/obs/metrics.h"
+
+namespace dipbench {
+namespace obs {
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslash, control characters).
+std::string JsonEscape(std::string_view input);
+
+/// Flat metrics dump, one instrument per row:
+///   kind,name,count,sum,min,max,mean,p50,p95,p99,value
+/// Counter/gauge rows fill `value` only; histogram rows fill the
+/// distribution columns. Fields are RFC-4180 quoted when needed.
+std::string MetricsToCsv(const MetricsRegistry& registry);
+
+/// The same dump as a JSON object:
+///   {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}
+std::string MetricsToJson(const MetricsRegistry& registry);
+
+/// Writes `content` to `path` (overwrites).
+Status WriteFileOrError(const std::string& path, const std::string& content);
+
+}  // namespace obs
+}  // namespace dipbench
+
+#endif  // DIPBENCH_OBS_EXPORT_H_

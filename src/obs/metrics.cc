@@ -1,0 +1,107 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dipbench {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)) {
+  std::sort(upper_bounds_.begin(), upper_bounds_.end());
+  upper_bounds_.erase(
+      std::unique(upper_bounds_.begin(), upper_bounds_.end()),
+      upper_bounds_.end());
+  counts_.assign(upper_bounds_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::ExponentialBuckets(double start, double factor,
+                                                  int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count > 0 ? count : 0));
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+void Histogram::Observe(double v) {
+  size_t i = static_cast<size_t>(
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), v) -
+      upper_bounds_.begin());
+  ++counts_[i];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    double before = static_cast<double>(cumulative);
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    // Interpolate inside bucket i between its lower and upper edge.
+    double lower = i == 0 ? min_ : upper_bounds_[i - 1];
+    double upper = i < upper_bounds_.size() ? upper_bounds_[i] : max_;
+    lower = std::max(lower, min_);
+    upper = std::min(upper, max_);
+    if (upper <= lower) return std::clamp(lower, min_, max_);
+    double frac = (target - before) / static_cast<double>(counts_[i]);
+    return std::clamp(lower + frac * (upper - lower), min_, max_);
+  }
+  return max_;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return &counters_[name];
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return &gauges_[name];
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(upper_bounds))).first;
+  }
+  return &it->second;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::vector<double> DefaultLatencyBucketsMs() {
+  // 0.01, 0.02, 0.04, ... ~5243 ms: 20 geometric buckets covering one
+  // operator charge up to a full heavyweight process instance.
+  return Histogram::ExponentialBuckets(0.01, 2.0, 20);
+}
+
+}  // namespace obs
+}  // namespace dipbench

@@ -1,0 +1,115 @@
+#ifndef DIPBENCH_OBS_METRICS_H_
+#define DIPBENCH_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dipbench {
+namespace obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-written instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. Buckets are defined by their inclusive upper
+/// bounds (ascending) plus an implicit overflow bucket; observation is
+/// O(log buckets), quantiles are estimated by linear interpolation inside
+/// the covering bucket (Prometheus-style). Exact min/max/sum/count are
+/// tracked alongside, so p0/p100 are exact and interpolated quantiles are
+/// clamped into [min, max].
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// `count` buckets whose bounds grow geometrically from `start` by
+  /// `factor` — the default shape for virtual-millisecond costs.
+  static std::vector<double> ExponentialBuckets(double start, double factor,
+                                                int count);
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double Mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+
+  /// Estimated value at quantile q in [0, 1]. Returns 0 when empty.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// Per-bucket observation counts; index upper_bounds().size() is the
+  /// overflow bucket.
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<uint64_t> counts_;  ///< upper_bounds_.size() + 1 entries.
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named metrics, injected into modules as part of an ObsContext instead of
+/// living in a global. Instruments are created on first use and live as
+/// long as the registry; returned pointers stay valid (node-based map).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Returns the histogram `name`, creating it with `upper_bounds` if it
+  /// does not exist yet (bounds of an existing histogram are kept).
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds);
+
+  /// nullptr when the instrument was never created.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Default bucket layout for virtual-millisecond durations: 0.01 ms up to
+/// ~5 s in geometric steps.
+std::vector<double> DefaultLatencyBucketsMs();
+
+}  // namespace obs
+}  // namespace dipbench
+
+#endif  // DIPBENCH_OBS_METRICS_H_

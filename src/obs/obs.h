@@ -1,0 +1,44 @@
+#ifndef DIPBENCH_OBS_OBS_H_
+#define DIPBENCH_OBS_OBS_H_
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace dipbench {
+namespace obs {
+
+/// The handle instrumented modules hold. It is a pair of non-owning
+/// pointers, both optional; a default-constructed ObsContext is the
+/// *disabled* state, and every instrumentation site guards on the pointers,
+/// so disabled observability costs one branch and performs no allocations —
+/// benchmark numbers are byte-identical with and without an observer
+/// attached (all charging happens on the cost ledger, never here).
+///
+/// ObsContext is passed by value (it is two pointers) and injected
+/// explicitly — engine, network and client each get SetObserver(...) —
+/// instead of living in a global, so independent benchmark runs in one
+/// process can record into independent sinks.
+class ObsContext {
+ public:
+  ObsContext() = default;
+  ObsContext(TraceRecorder* trace, MetricsRegistry* metrics)
+      : trace_(trace), metrics_(metrics) {}
+
+  TraceRecorder* trace() const { return trace_; }
+  MetricsRegistry* metrics() const { return metrics_; }
+  bool enabled() const { return trace_ != nullptr || metrics_ != nullptr; }
+
+  /// Null-safe counter bump (the common metrics fast path).
+  void Count(const char* name, uint64_t n = 1) const {
+    if (metrics_ != nullptr) metrics_->GetCounter(name)->Increment(n);
+  }
+
+ private:
+  TraceRecorder* trace_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace obs
+}  // namespace dipbench
+
+#endif  // DIPBENCH_OBS_OBS_H_
