@@ -49,6 +49,17 @@ int main(int argc, char** argv) {
   }
   const std::string trace_out = FlagValue(argc, argv, "--trace-out");
   const std::string metrics_out = FlagValue(argc, argv, "--metrics-out");
+  // --exec-mode=materialize|pipeline (default pipeline). Monitor output is
+  // identical between modes; the flag exists for parity checks and timing.
+  const std::string exec_mode = FlagValue(argc, argv, "--exec-mode");
+  if (exec_mode == "materialize") {
+    SetExecMode(ExecMode::kMaterialize);
+  } else if (exec_mode == "pipeline") {
+    SetExecMode(ExecMode::kPipeline);
+  } else if (!exec_mode.empty()) {
+    std::fprintf(stderr, "unknown --exec-mode=%s\n", exec_mode.c_str());
+    return 1;
+  }
 
   auto scenario_result = Scenario::Create();
   if (!scenario_result.ok()) {

@@ -2,8 +2,20 @@
 // substrate pieces that back the cost model — relational operators, XML
 // parse/serialize, STX translation, XSD validation, and the end-to-end
 // endpoint paths (database vs Web-service marshaling).
+//
+// The relational operators run under BOTH execution modes
+// (pipeline = 0: legacy full materialization between operators,
+// pipeline = 1: batch-streamed cursors) so the rows/sec effect of the
+// pipelined engine is measurable per operator. items_per_second in the
+// output is the rows/sec figure. By default the run also writes
+// BENCH_operators.json (Google Benchmark JSON) next to the binary; pass
+// your own --benchmark_out= to override.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "src/dipbench/schemas.h"
 #include "src/net/endpoint.h"
@@ -30,41 +42,123 @@ RowSet MakeOrders(int64_t n) {
   return rs;
 }
 
-void BM_Filter(benchmark::State& state) {
-  RowSet rows = MakeOrders(state.range(0));
-  auto plan = Filter(ScanValues(rows), Gt(Col("price"), Lit(250.0)));
+/// Builds a storage table with the MakeOrders shape (plans that start from
+/// ScanTable exercise the table scan cursor rather than a pre-built RowSet).
+Table* MakeOrdersTable(Database* db, int64_t n) {
+  Schema s;
+  s.AddColumn("orderkey", DataType::kInt64, false)
+      .AddColumn("custkey", DataType::kInt64)
+      .AddColumn("price", DataType::kDouble)
+      .AddColumn("orderdate", DataType::kDate)
+      .SetPrimaryKey({"orderkey"});
+  Table* t = *db->CreateTable("orders", std::move(s));
+  for (Row& row : MakeOrders(n).rows) (void)t->Insert(std::move(row));
+  return t;
+}
+
+/// Second benchmark argument selects the execution mode.
+ExecMode ModeArg(const benchmark::State& state) {
+  return state.range(1) == 0 ? ExecMode::kMaterialize : ExecMode::kPipeline;
+}
+
+/// Registers {rows} x {materialize, pipeline} variants.
+void ModeArgs(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"rows", "pipeline"});
+  for (int64_t rows : {int64_t{4096}, int64_t{65536}}) {
+    b->Args({rows, 0})->Args({rows, 1});
+  }
+}
+
+void RunPlan(benchmark::State& state, const PlanPtr& plan,
+             int64_t rows_per_iter) {
+  ScopedExecMode mode(ModeArg(state));
   for (auto _ : state) {
     ExecContext ctx;
     auto out = plan->Execute(&ctx);
     benchmark::DoNotOptimize(out);
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetItemsProcessed(state.iterations() * rows_per_iter);
 }
-BENCHMARK(BM_Filter)->Arg(1000)->Arg(10000);
+
+void BM_Scan(benchmark::State& state) {
+  Database db("bench");
+  Table* t = MakeOrdersTable(&db, state.range(0));
+  RunPlan(state, ScanTable(t), state.range(0));
+}
+BENCHMARK(BM_Scan)->Apply(ModeArgs);
+
+void BM_Filter(benchmark::State& state) {
+  Database db("bench");
+  Table* t = MakeOrdersTable(&db, state.range(0));
+  RunPlan(state, Filter(ScanTable(t), Gt(Col("price"), Lit(250.0))),
+          state.range(0));
+}
+BENCHMARK(BM_Filter)->Apply(ModeArgs);
+
+void BM_Project(benchmark::State& state) {
+  Database db("bench");
+  Table* t = MakeOrdersTable(&db, state.range(0));
+  RunPlan(state,
+          Project(ScanTable(t),
+                  {{"orderkey", Col("orderkey"), DataType::kNull},
+                   {"gross", Mul(Col("price"), Lit(1.19)), DataType::kNull}}),
+          state.range(0));
+}
+BENCHMARK(BM_Project)->Apply(ModeArgs);
+
+// The acceptance chain: scan -> filter -> project fully streams in
+// pipelined mode (no intermediate RowSet at all), which is where the
+// refactor's speedup should be most visible.
+void BM_ScanFilterProject(benchmark::State& state) {
+  Database db("bench");
+  Table* t = MakeOrdersTable(&db, state.range(0));
+  RunPlan(state,
+          Project(Filter(ScanTable(t), Gt(Col("price"), Lit(250.0))),
+                  {{"orderkey", Col("orderkey"), DataType::kNull},
+                   {"gross", Mul(Col("price"), Lit(1.19)), DataType::kNull}}),
+          state.range(0));
+}
+BENCHMARK(BM_ScanFilterProject)->Apply(ModeArgs);
 
 void BM_HashJoin(benchmark::State& state) {
-  RowSet orders = MakeOrders(state.range(0));
+  Database db("bench");
+  Table* t = MakeOrdersTable(&db, state.range(0));
   RowSet lookup;
   lookup.schema.AddColumn("custkey", DataType::kInt64, false)
       .AddColumn("name", DataType::kString);
   for (int64_t i = 1; i <= 100; ++i) {
     lookup.rows.push_back({Value::Int(i), Value::String("c")});
   }
-  auto plan = HashJoin(ScanValues(orders), ScanValues(lookup), {"custkey"},
-                       {"custkey"});
-  for (auto _ : state) {
-    ExecContext ctx;
-    auto out = plan->Execute(&ctx);
-    benchmark::DoNotOptimize(out);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+  RunPlan(state,
+          HashJoin(ScanTable(t), ScanValues(std::move(lookup)), {"custkey"},
+                   {"custkey"}),
+          state.range(0));
 }
-BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_HashJoin)->Apply(ModeArgs);
+
+void BM_Aggregate(benchmark::State& state) {
+  Database db("bench");
+  Table* t = MakeOrdersTable(&db, state.range(0));
+  RunPlan(state,
+          Aggregate(ScanTable(t), {"custkey"},
+                    {{"revenue", AggFunc::kSum, "price"},
+                     {"n", AggFunc::kCount, ""}}),
+          state.range(0));
+}
+BENCHMARK(BM_Aggregate)->Apply(ModeArgs);
+
+void BM_Sort(benchmark::State& state) {
+  Database db("bench");
+  Table* t = MakeOrdersTable(&db, state.range(0));
+  RunPlan(state, Sort(ScanTable(t), {{"price", false}}), state.range(0));
+}
+BENCHMARK(BM_Sort)->Apply(ModeArgs);
 
 void BM_UnionDistinct(benchmark::State& state) {
   RowSet a = MakeOrders(state.range(0));
   RowSet b = MakeOrders(state.range(0));  // identical: worst-case dedup
   auto plan = UnionDistinct({ScanValues(a), ScanValues(b)}, {"orderkey"});
+  ScopedExecMode mode(ModeArg(state));
   for (auto _ : state) {
     ExecContext ctx;
     auto out = plan->Execute(&ctx);
@@ -72,21 +166,7 @@ void BM_UnionDistinct(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * state.range(0));
 }
-BENCHMARK(BM_UnionDistinct)->Arg(1000)->Arg(10000);
-
-void BM_Aggregate(benchmark::State& state) {
-  RowSet rows = MakeOrders(state.range(0));
-  auto plan = Aggregate(
-      ScanValues(rows), {"custkey"},
-      {{"revenue", AggFunc::kSum, "price"}, {"n", AggFunc::kCount, ""}});
-  for (auto _ : state) {
-    ExecContext ctx;
-    auto out = plan->Execute(&ctx);
-    benchmark::DoNotOptimize(out);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_Aggregate)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_UnionDistinct)->Apply(ModeArgs);
 
 void BM_XmlParse(benchmark::State& state) {
   RowSet rows = MakeOrders(state.range(0));
@@ -239,4 +319,24 @@ BENCHMARK(BM_EndpointQuery_WebService)->Arg(1000);
 }  // namespace
 }  // namespace dipbench
 
-BENCHMARK_MAIN();
+// Custom main: write BENCH_operators.json by default so CI (and humans) get
+// machine-readable rows/sec per operator/mode without remembering the flag.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  static std::string out_flag = "--benchmark_out=BENCH_operators.json";
+  static std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int argn = static_cast<int>(args.size());
+  benchmark::Initialize(&argn, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argn, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

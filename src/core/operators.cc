@@ -285,7 +285,7 @@ class SelectionOpImpl : public Operator {
     DIP_ASSIGN_OR_RETURN(auto rows, msg.Rows());
     ExecContext ec;
     DIP_ASSIGN_OR_RETURN(
-        RowSet out, Filter(ScanValues(*rows), predicate_)->Execute(&ec));
+        RowSet out, Filter(ScanValuesRef(rows.get()), predicate_)->Execute(&ec));
     ctx->ChargeRows(ec.rows_processed);
     ctx->Set(out_var_, MtmMessage::FromRows(std::move(out)));
     return Status::OK();
@@ -311,8 +311,8 @@ class ProjectionOpImpl : public Operator {
     DIP_ASSIGN_OR_RETURN(MtmMessage msg, ctx->Get(in_var_));
     DIP_ASSIGN_OR_RETURN(auto rows, msg.Rows());
     ExecContext ec;
-    DIP_ASSIGN_OR_RETURN(RowSet out,
-                         Project(ScanValues(*rows), items_)->Execute(&ec));
+    DIP_ASSIGN_OR_RETURN(
+        RowSet out, Project(ScanValuesRef(rows.get()), items_)->Execute(&ec));
     ctx->ChargeRows(ec.rows_processed);
     ctx->Set(out_var_, MtmMessage::FromRows(std::move(out)));
     return Status::OK();
@@ -343,8 +343,8 @@ class JoinOpImpl : public Operator {
     DIP_ASSIGN_OR_RETURN(auto rrows, rm.Rows());
     ExecContext ec;
     DIP_ASSIGN_OR_RETURN(
-        RowSet out, HashJoin(ScanValues(*lrows), ScanValues(*rrows), lkeys_,
-                             rkeys_)
+        RowSet out, HashJoin(ScanValuesRef(lrows.get()),
+                             ScanValuesRef(rrows.get()), lkeys_, rkeys_)
                         ->Execute(&ec));
     ctx->ChargeRows(ec.rows_processed);
     ctx->Set(out_var_, MtmMessage::FromRows(std::move(out)));
@@ -369,12 +369,15 @@ class UnionDistinctOpImpl : public Operator {
   Status Execute(ProcessContext* ctx) const override {
     ctx->ChargeOperator();
     std::vector<PlanPtr> children;
+    // Borrowed inputs: keep each message's row set alive past the loop.
+    std::vector<std::shared_ptr<const RowSet>> pinned;
     size_t total_in = 0;
     for (const auto& var : in_vars_) {
       DIP_ASSIGN_OR_RETURN(MtmMessage msg, ctx->Get(var));
       DIP_ASSIGN_OR_RETURN(auto rows, msg.Rows());
       total_in += rows->size();
-      children.push_back(ScanValues(*rows));
+      children.push_back(ScanValuesRef(rows.get()));
+      pinned.push_back(std::move(rows));
     }
     ExecContext ec;
     DIP_ASSIGN_OR_RETURN(RowSet out,
@@ -576,7 +579,7 @@ class GroupByOpImpl : public Operator {
     ExecContext ec;
     DIP_ASSIGN_OR_RETURN(
         RowSet out,
-        Aggregate(ScanValues(*rows), group_by_, aggs_)->Execute(&ec));
+        Aggregate(ScanValuesRef(rows.get()), group_by_, aggs_)->Execute(&ec));
     ctx->ChargeRows(ec.rows_processed);
     ctx->Set(out_var_, MtmMessage::FromRows(std::move(out)));
     return Status::OK();
@@ -603,8 +606,8 @@ class SortOpImpl : public Operator {
     DIP_ASSIGN_OR_RETURN(MtmMessage msg, ctx->Get(in_var_));
     DIP_ASSIGN_OR_RETURN(auto rows, msg.Rows());
     ExecContext ec;
-    DIP_ASSIGN_OR_RETURN(RowSet out,
-                         Sort(ScanValues(*rows), keys_)->Execute(&ec));
+    DIP_ASSIGN_OR_RETURN(
+        RowSet out, Sort(ScanValuesRef(rows.get()), keys_)->Execute(&ec));
     ctx->ChargeRows(ec.rows_processed);
     ctx->Set(out_var_, MtmMessage::FromRows(std::move(out)));
     return Status::OK();

@@ -57,6 +57,8 @@ Result<RowSet> Endpoint::Query(const std::string& op,
   }
   DIP_ASSIGN_OR_RETURN(RowSet rows, it->second(db_, params));
   size_t request_bytes = 64 + params.size() * 16;
+  // ByteSize memoizes on the RowSet, so the O(rows×cols) walk happens at
+  // most once per transferred payload even if callers re-query the size.
   Charge(request_bytes, rows.ByteSize(), rows.size(), stats);
   return rows;
 }
@@ -75,6 +77,8 @@ Result<size_t> Endpoint::Update(const std::string& op, const RowSet& rows,
     return Status::NotFound("no update op " + op + " on " + name_);
   }
   DIP_ASSIGN_OR_RETURN(size_t written, it->second(db_, rows));
+  // Memoized: a multicast that Updates the same RowSet against N targets
+  // sizes the payload once, not N times.
   Charge(rows.ByteSize(), 32, written, stats);
   return written;
 }

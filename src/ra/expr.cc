@@ -5,13 +5,32 @@
 #include "src/common/string_util.h"
 
 namespace dipbench {
+
+Status Expr::EvalBatch(const RowRefs& rows, const Schema& schema,
+                       std::vector<Value>* out) const {
+  out->clear();
+  out->reserve(rows.size());
+  for (const Row* row : rows) {
+    DIP_ASSIGN_OR_RETURN(Value v, Eval(*row, schema));
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
 namespace {
 
 class LiteralExpr : public Expr {
  public:
   explicit LiteralExpr(Value v) : value_(std::move(v)) {}
+  ExprKind kind() const override { return ExprKind::kLiteral; }
+  const Value& value() const { return value_; }
   Result<Value> Eval(const Row&, const Schema&) const override {
     return value_;
+  }
+  Status EvalBatch(const RowRefs& rows, const Schema&,
+                   std::vector<Value>* out) const override {
+    out->assign(rows.size(), value_);
+    return Status::OK();
   }
   std::string ToString() const override {
     return value_.type() == DataType::kString ? "'" + value_.ToString() + "'"
@@ -25,10 +44,26 @@ class LiteralExpr : public Expr {
 class ColumnRefExpr : public Expr {
  public:
   explicit ColumnRefExpr(std::string name) : name_(std::move(name)) {}
+  ExprKind kind() const override { return ExprKind::kColumnRef; }
+  const std::string& name() const { return name_; }
   Result<Value> Eval(const Row& row, const Schema& schema) const override {
     DIP_ASSIGN_OR_RETURN(size_t idx, schema.RequireIndexOf(name_));
     if (idx >= row.size()) return Status::Internal("row narrower than schema");
     return row[idx];
+  }
+  Status EvalBatch(const RowRefs& rows, const Schema& schema,
+                   std::vector<Value>* out) const override {
+    // The payoff of batching: one name resolution for the whole chunk.
+    DIP_ASSIGN_OR_RETURN(size_t idx, schema.RequireIndexOf(name_));
+    out->clear();
+    out->reserve(rows.size());
+    for (const Row* row : rows) {
+      if (idx >= row->size()) {
+        return Status::Internal("row narrower than schema");
+      }
+      out->push_back((*row)[idx]);
+    }
+    return Status::OK();
   }
   std::string ToString() const override { return name_; }
 
@@ -36,13 +71,79 @@ class ColumnRefExpr : public Expr {
   std::string name_;
 };
 
+/// One input of a vectorized evaluation, bound once per batch. Bare column
+/// references are read in place (no per-row Value copies), literals are
+/// evaluated once, and everything else falls back to a per-row buffer.
+class Operand {
+ public:
+  Status Bind(const Expr& e, const RowRefs& rows, const Schema& schema) {
+    idx_ = kNotColumn;
+    constant_ = nullptr;
+    switch (e.kind()) {
+      case ExprKind::kColumnRef: {
+        DIP_ASSIGN_OR_RETURN(
+            size_t idx,
+            schema.RequireIndexOf(static_cast<const ColumnRefExpr&>(e).name()));
+        for (const Row* row : rows) {
+          if (idx >= row->size()) {
+            return Status::Internal("row narrower than schema");
+          }
+        }
+        idx_ = idx;
+        return Status::OK();
+      }
+      case ExprKind::kLiteral:
+        constant_ = &static_cast<const LiteralExpr&>(e).value();
+        return Status::OK();
+      default:
+        return e.EvalBatch(rows, schema, &buf_);
+    }
+  }
+
+  const Value& at(const RowRefs& rows, size_t i) const {
+    if (idx_ != kNotColumn) return (*rows[i])[idx_];
+    if (constant_ != nullptr) return *constant_;
+    return buf_[i];
+  }
+
+ private:
+  static constexpr size_t kNotColumn = static_cast<size_t>(-1);
+  size_t idx_ = kNotColumn;
+  const Value* constant_ = nullptr;
+  std::vector<Value> buf_;
+};
+
 class CompareExpr : public Expr {
  public:
   CompareExpr(CompareOp op, ExprPtr lhs, ExprPtr rhs)
       : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  ExprKind kind() const override { return ExprKind::kCompare; }
   Result<Value> Eval(const Row& row, const Schema& schema) const override {
     DIP_ASSIGN_OR_RETURN(Value a, lhs_->Eval(row, schema));
     DIP_ASSIGN_OR_RETURN(Value b, rhs_->Eval(row, schema));
+    return Apply(a, b);
+  }
+  Status EvalBatch(const RowRefs& rows, const Schema& schema,
+                   std::vector<Value>* out) const override {
+    Operand lhs, rhs;
+    DIP_RETURN_NOT_OK(lhs.Bind(*lhs_, rows, schema));
+    DIP_RETURN_NOT_OK(rhs.Bind(*rhs_, rows, schema));
+    out->clear();
+    out->reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      DIP_ASSIGN_OR_RETURN(Value v, Apply(lhs.at(rows, i), rhs.at(rows, i)));
+      out->push_back(std::move(v));
+    }
+    return Status::OK();
+  }
+  std::string ToString() const override {
+    static const char* kNames[] = {"=", "!=", "<", "<=", ">", ">="};
+    return "(" + lhs_->ToString() + " " + kNames[static_cast<int>(op_)] + " " +
+           rhs_->ToString() + ")";
+  }
+
+ private:
+  Result<Value> Apply(const Value& a, const Value& b) const {
     // SQL-ish: comparisons against NULL are false (except handled by IsNull).
     if (a.is_null() || b.is_null()) return Value::Bool(false);
     int c = a.Compare(b);
@@ -62,13 +163,7 @@ class CompareExpr : public Expr {
     }
     return Status::Internal("bad compare op");
   }
-  std::string ToString() const override {
-    static const char* kNames[] = {"=", "!=", "<", "<=", ">", ">="};
-    return "(" + lhs_->ToString() + " " + kNames[static_cast<int>(op_)] + " " +
-           rhs_->ToString() + ")";
-  }
 
- private:
   CompareOp op_;
   ExprPtr lhs_, rhs_;
 };
@@ -77,6 +172,7 @@ class LogicalExpr : public Expr {
  public:
   LogicalExpr(LogicalOp op, ExprPtr lhs, ExprPtr rhs)
       : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  ExprKind kind() const override { return ExprKind::kLogical; }
   Result<Value> Eval(const Row& row, const Schema& schema) const override {
     DIP_ASSIGN_OR_RETURN(Value a, lhs_->Eval(row, schema));
     bool av = !a.is_null() && a.type() == DataType::kBool && a.AsBool();
@@ -86,6 +182,36 @@ class LogicalExpr : public Expr {
     DIP_ASSIGN_OR_RETURN(Value b, rhs_->Eval(row, schema));
     bool bv = !b.is_null() && b.type() == DataType::kBool && b.AsBool();
     return Value::Bool(bv);
+  }
+  Status EvalBatch(const RowRefs& rows, const Schema& schema,
+                   std::vector<Value>* out) const override {
+    Operand lhs;
+    DIP_RETURN_NOT_OK(lhs.Bind(*lhs_, rows, schema));
+    out->clear();
+    out->reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Value& a = lhs.at(rows, i);
+      bool av = !a.is_null() && a.type() == DataType::kBool && a.AsBool();
+      if (op_ == LogicalOp::kNot) {
+        out->push_back(Value::Bool(!av));
+        continue;
+      }
+      if (op_ == LogicalOp::kAnd && !av) {
+        out->push_back(Value::Bool(false));
+        continue;
+      }
+      if (op_ == LogicalOp::kOr && av) {
+        out->push_back(Value::Bool(true));
+        continue;
+      }
+      // Short-circuit semantics preserved: the right side is evaluated only
+      // for the rows the scalar path would evaluate it for (a batched rhs
+      // could surface eval errors on rows the scalar path never touches).
+      DIP_ASSIGN_OR_RETURN(Value b, rhs_->Eval(*rows[i], schema));
+      out->push_back(Value::Bool(!b.is_null() &&
+                                 b.type() == DataType::kBool && b.AsBool()));
+    }
+    return Status::OK();
   }
   std::string ToString() const override {
     if (op_ == LogicalOp::kNot) return "NOT " + lhs_->ToString();
@@ -103,9 +229,33 @@ class ArithmeticExpr : public Expr {
  public:
   ArithmeticExpr(ArithmeticOp op, ExprPtr lhs, ExprPtr rhs)
       : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  ExprKind kind() const override { return ExprKind::kArithmetic; }
   Result<Value> Eval(const Row& row, const Schema& schema) const override {
     DIP_ASSIGN_OR_RETURN(Value a, lhs_->Eval(row, schema));
     DIP_ASSIGN_OR_RETURN(Value b, rhs_->Eval(row, schema));
+    return Apply(a, b);
+  }
+  Status EvalBatch(const RowRefs& rows, const Schema& schema,
+                   std::vector<Value>* out) const override {
+    Operand lhs, rhs;
+    DIP_RETURN_NOT_OK(lhs.Bind(*lhs_, rows, schema));
+    DIP_RETURN_NOT_OK(rhs.Bind(*rhs_, rows, schema));
+    out->clear();
+    out->reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      DIP_ASSIGN_OR_RETURN(Value v, Apply(lhs.at(rows, i), rhs.at(rows, i)));
+      out->push_back(std::move(v));
+    }
+    return Status::OK();
+  }
+  std::string ToString() const override {
+    static const char* kNames[] = {"+", "-", "*", "/", "%"};
+    return "(" + lhs_->ToString() + " " + kNames[static_cast<int>(op_)] + " " +
+           rhs_->ToString() + ")";
+  }
+
+ private:
+  Result<Value> Apply(const Value& a, const Value& b) const {
     if (a.is_null() || b.is_null()) return Value::Null();
     // String + string concatenates.
     if (op_ == ArithmeticOp::kAdd && a.type() == DataType::kString &&
@@ -148,13 +298,7 @@ class ArithmeticExpr : public Expr {
     }
     return Status::Internal("bad arithmetic op");
   }
-  std::string ToString() const override {
-    static const char* kNames[] = {"+", "-", "*", "/", "%"};
-    return "(" + lhs_->ToString() + " " + kNames[static_cast<int>(op_)] + " " +
-           rhs_->ToString() + ")";
-  }
 
- private:
   ArithmeticOp op_;
   ExprPtr lhs_, rhs_;
 };
@@ -162,9 +306,21 @@ class ArithmeticExpr : public Expr {
 class IsNullExpr : public Expr {
  public:
   explicit IsNullExpr(ExprPtr operand) : operand_(std::move(operand)) {}
+  ExprKind kind() const override { return ExprKind::kIsNull; }
   Result<Value> Eval(const Row& row, const Schema& schema) const override {
     DIP_ASSIGN_OR_RETURN(Value v, operand_->Eval(row, schema));
     return Value::Bool(v.is_null());
+  }
+  Status EvalBatch(const RowRefs& rows, const Schema& schema,
+                   std::vector<Value>* out) const override {
+    Operand operand;
+    DIP_RETURN_NOT_OK(operand.Bind(*operand_, rows, schema));
+    out->clear();
+    out->reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      out->push_back(Value::Bool(operand.at(rows, i).is_null()));
+    }
+    return Status::OK();
   }
   std::string ToString() const override {
     return operand_->ToString() + " IS NULL";
@@ -178,6 +334,7 @@ class InListExpr : public Expr {
  public:
   InListExpr(ExprPtr needle, std::vector<Value> haystack)
       : needle_(std::move(needle)), haystack_(std::move(haystack)) {}
+  ExprKind kind() const override { return ExprKind::kInList; }
   Result<Value> Eval(const Row& row, const Schema& schema) const override {
     DIP_ASSIGN_OR_RETURN(Value v, needle_->Eval(row, schema));
     if (v.is_null()) return Value::Bool(false);
@@ -185,6 +342,27 @@ class InListExpr : public Expr {
       if (v.Compare(h) == 0) return Value::Bool(true);
     }
     return Value::Bool(false);
+  }
+  Status EvalBatch(const RowRefs& rows, const Schema& schema,
+                   std::vector<Value>* out) const override {
+    Operand needle;
+    DIP_RETURN_NOT_OK(needle.Bind(*needle_, rows, schema));
+    out->clear();
+    out->reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Value& v = needle.at(rows, i);
+      bool found = false;
+      if (!v.is_null()) {
+        for (const auto& h : haystack_) {
+          if (v.Compare(h) == 0) {
+            found = true;
+            break;
+          }
+        }
+      }
+      out->push_back(Value::Bool(found));
+    }
+    return Status::OK();
   }
   std::string ToString() const override {
     std::vector<std::string> items;
@@ -201,6 +379,7 @@ class FunctionExpr : public Expr {
  public:
   FunctionExpr(std::string name, std::vector<ExprPtr> args)
       : name_(StrLower(name)), args_(std::move(args)) {}
+  ExprKind kind() const override { return ExprKind::kFunction; }
 
   Result<Value> Eval(const Row& row, const Schema& schema) const override {
     std::vector<Value> vals;
@@ -210,6 +389,26 @@ class FunctionExpr : public Expr {
       vals.push_back(std::move(v));
     }
     return Apply(vals);
+  }
+
+  Status EvalBatch(const RowRefs& rows, const Schema& schema,
+                   std::vector<Value>* out) const override {
+    // Evaluate each argument once over the whole batch, then assemble the
+    // per-row argument vector. Costs one transpose but saves the per-row
+    // recursive dispatch into the argument subtrees.
+    std::vector<std::vector<Value>> cols(args_.size());
+    for (size_t a = 0; a < args_.size(); ++a) {
+      DIP_RETURN_NOT_OK(args_[a]->EvalBatch(rows, schema, &cols[a]));
+    }
+    out->clear();
+    out->reserve(rows.size());
+    std::vector<Value> vals(args_.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      for (size_t a = 0; a < args_.size(); ++a) vals[a] = cols[a][i];
+      DIP_ASSIGN_OR_RETURN(Value v, Apply(vals));
+      out->push_back(std::move(v));
+    }
+    return Status::OK();
   }
 
   std::string ToString() const override {
@@ -362,6 +561,11 @@ ExprPtr InList(ExprPtr needle, std::vector<Value> haystack) {
 }
 ExprPtr Func(std::string name, std::vector<ExprPtr> args) {
   return std::make_shared<FunctionExpr>(std::move(name), std::move(args));
+}
+
+const std::string* ColumnRefName(const Expr& e) {
+  if (e.kind() != ExprKind::kColumnRef) return nullptr;
+  return &static_cast<const ColumnRefExpr&>(e).name();
 }
 
 }  // namespace dipbench

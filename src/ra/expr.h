@@ -14,6 +14,11 @@ namespace dipbench {
 class Expr;
 using ExprPtr = std::shared_ptr<const Expr>;
 
+/// A batch of rows by reference — the unit of vectorized evaluation. The
+/// pointees typically live in table storage or an upstream operator's batch
+/// buffer, so no row is copied just to be evaluated.
+using RowRefs = std::vector<const Row*>;
+
 /// Expression node kinds.
 enum class ExprKind {
   kLiteral,
@@ -49,8 +54,21 @@ class Expr {
  public:
   virtual ~Expr() = default;
 
+  virtual ExprKind kind() const = 0;
+
   /// Evaluates against one row. Type errors surface as Status.
   virtual Result<Value> Eval(const Row& row, const Schema& schema) const = 0;
+
+  /// Evaluates against a whole batch of rows at once: `*out` is resized to
+  /// `rows.size()` and out[i] receives the value for *rows[i]. The base
+  /// implementation loops the scalar Eval; concrete nodes override it with
+  /// tight loops that resolve column indices once per batch and skip the
+  /// per-row virtual dispatch into their children. Semantics are identical
+  /// to row-at-a-time evaluation (AND/OR short-circuiting included); only
+  /// the order in which per-row type errors are discovered may differ.
+  virtual Status EvalBatch(const RowRefs& rows, const Schema& schema,
+                           std::vector<Value>* out) const;
+
   virtual std::string ToString() const = 0;
 };
 
@@ -78,6 +96,11 @@ ExprPtr Div(ExprPtr lhs, ExprPtr rhs);
 ExprPtr IsNull(ExprPtr operand);
 ExprPtr InList(ExprPtr needle, std::vector<Value> haystack);
 ExprPtr Func(std::string name, std::vector<ExprPtr> args);
+
+/// Non-null iff `e` is a bare column reference; points at its column name.
+/// Lets operators (projection) read referenced columns in place instead of
+/// routing them through a value buffer.
+const std::string* ColumnRefName(const Expr& e);
 
 }  // namespace dipbench
 

@@ -1,36 +1,487 @@
 #include "src/ra/plan.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <unordered_map>
+#include <utility>
 
 #include "src/common/string_util.h"
 
 namespace dipbench {
 
 size_t RowSet::ByteSize() const {
+  // Memoized per row count: operators never mutate values in place at
+  // constant cardinality, so a matching count means an unchanged payload.
+  if (byte_size_cache_rows_ == rows.size()) return byte_size_cache_;
   size_t total = 0;
   for (const auto& r : rows) {
     for (const auto& v : r) total += v.ByteSize();
   }
+  byte_size_cache_ = total;
+  byte_size_cache_rows_ = rows.size();
   return total;
 }
 
 namespace {
+// Engine-wide execution mode. The engine is a single-threaded discrete-event
+// simulation, so a plain global suffices.
+ExecMode g_exec_mode = ExecMode::kPipeline;
+}  // namespace
+
+ExecMode CurrentExecMode() { return g_exec_mode; }
+void SetExecMode(ExecMode mode) { g_exec_mode = mode; }
+
+Result<RowSet> DrainCursor(BatchCursor* cursor) {
+  DIP_RETURN_NOT_OK(cursor->Open());
+  RowSet out;
+  Batch batch;
+  for (;;) {
+    DIP_RETURN_NOT_OK(cursor->Next(&batch));
+    if (batch.empty()) break;
+    // No per-batch reserve: exact-sized reserves would defeat the vector's
+    // geometric growth and reallocate once per batch. Borrowed batches are
+    // copied (their pointees die with the next Next()); owned ones move.
+    if (batch.borrowed()) {
+      for (const Row* row : batch.refs) out.rows.push_back(*row);
+    } else {
+      for (Row& row : batch.rows) out.rows.push_back(std::move(row));
+    }
+  }
+  // Read the schema only after end of stream: type-inferring operators
+  // (Project) finalize it as the last rows pass through.
+  out.schema = cursor->schema();
+  cursor->Close();
+  return out;
+}
+
+namespace {
+
+/// Adapter that materializes a full RowSet at Open() and then emits it in
+/// batches. Serves as the default cursor for blocking operators; their
+/// children still stream because the producer runs them through the
+/// mode-dispatching PlanNode::Execute().
+class RowSetCursor : public BatchCursor {
+ public:
+  explicit RowSetCursor(std::function<Result<RowSet>()> producer)
+      : producer_(std::move(producer)) {}
+
+  Status Open() override {
+    DIP_ASSIGN_OR_RETURN(data_, producer_());
+    pos_ = 0;
+    return Status::OK();
+  }
+  Status Next(Batch* batch) override {
+    batch->clear();
+    size_t n = std::min(kBatchCapacity, data_.rows.size() - pos_);
+    batch->rows.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch->rows.push_back(std::move(data_.rows[pos_ + i]));
+    }
+    pos_ += n;
+    return Status::OK();
+  }
+  void Close() override {}
+  const Schema& schema() const override { return data_.schema; }
+
+ private:
+  std::function<Result<RowSet>()> producer_;
+  RowSet data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RowSet> PlanNode::Execute(ExecContext* ctx) const {
+  if (CurrentExecMode() == ExecMode::kMaterialize) {
+    return ExecuteMaterialized(ctx);
+  }
+  CursorPtr cursor = MakeCursor(ctx);
+  return DrainCursor(cursor.get());
+}
+
+CursorPtr PlanNode::MakeCursor(ExecContext* ctx) const {
+  return std::make_unique<RowSetCursor>(
+      [this, ctx] { return ExecuteMaterialized(ctx); });
+}
+
+namespace {
+
+/// Read-only view of a batch for vectorized evaluation: borrowed batches
+/// already are pointer vectors; owned ones get one built in `scratch`.
+const RowRefs& BatchView(const Batch& in, RowRefs* scratch) {
+  if (in.borrowed() || in.rows.empty()) return in.refs;
+  scratch->clear();
+  scratch->reserve(in.rows.size());
+  for (const Row& row : in.rows) scratch->push_back(&row);
+  return *scratch;
+}
+
+/// Streams a table's live rows through Table::ScanCursor as borrowed
+/// pointers — neither an up-front full copy nor per-batch row copies.
+class ScanTableCursor : public BatchCursor {
+ public:
+  ScanTableCursor(const Table* table, ExecContext* ctx)
+      : table_(table), ctx_(ctx), cursor_(table->Scan()) {}
+
+  Status Open() override {
+    ctx_->operator_invocations++;
+    return Status::OK();
+  }
+  Status Next(Batch* batch) override {
+    batch->clear();
+    size_t n = cursor_.NextBatchRefs(&batch->refs, kBatchCapacity);
+    ctx_->rows_processed += n;
+    return Status::OK();
+  }
+  void Close() override {}
+  const Schema& schema() const override { return table_->schema(); }
+
+ private:
+  const Table* table_;
+  ExecContext* ctx_;
+  Table::ScanCursor cursor_;
+};
+
+/// Streams an in-memory RowSet it does not own, one chunk at a time.
+class RowSliceCursor : public BatchCursor {
+ public:
+  RowSliceCursor(const RowSet* data, ExecContext* ctx)
+      : data_(data), ctx_(ctx) {}
+
+  Status Open() override {
+    ctx_->operator_invocations++;
+    pos_ = 0;
+    return Status::OK();
+  }
+  Status Next(Batch* batch) override {
+    batch->clear();
+    size_t n = std::min(kBatchCapacity, data_->rows.size() - pos_);
+    batch->refs.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch->refs.push_back(&data_->rows[pos_ + i]);
+    }
+    pos_ += n;
+    ctx_->rows_processed += n;
+    return Status::OK();
+  }
+  void Close() override {}
+  const Schema& schema() const override { return data_->schema; }
+
+ private:
+  const RowSet* data_;
+  ExecContext* ctx_;
+  size_t pos_ = 0;
+};
+
+class FilterCursor : public BatchCursor {
+ public:
+  FilterCursor(CursorPtr child, ExprPtr predicate, ExecContext* ctx)
+      : child_(std::move(child)), predicate_(std::move(predicate)), ctx_(ctx) {}
+
+  Status Open() override {
+    DIP_RETURN_NOT_OK(child_->Open());
+    ctx_->operator_invocations++;
+    return Status::OK();
+  }
+  Status Next(Batch* batch) override {
+    batch->clear();
+    // Pull until some rows survive the predicate or the child is exhausted:
+    // an empty batch must mean end of stream.
+    for (;;) {
+      DIP_RETURN_NOT_OK(child_->Next(&in_));
+      if (in_.empty()) return Status::OK();
+      ctx_->rows_processed += in_.size();
+      const RowRefs& view = BatchView(in_, &view_scratch_);
+      DIP_RETURN_NOT_OK(predicate_->EvalBatch(view, child_->schema(), &keep_));
+      // Dropped rows are never copied: borrowed inputs forward the kept
+      // pointers; owned inputs move the kept rows out.
+      for (size_t i = 0; i < in_.size(); ++i) {
+        const Value& k = keep_[i];
+        if (!k.is_null() && k.type() == DataType::kBool && k.AsBool()) {
+          if (in_.borrowed()) {
+            batch->refs.push_back(in_.refs[i]);
+          } else {
+            batch->rows.push_back(std::move(in_.rows[i]));
+          }
+        }
+      }
+      if (!batch->empty()) return Status::OK();
+    }
+  }
+  void Close() override { child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  CursorPtr child_;
+  ExprPtr predicate_;
+  ExecContext* ctx_;
+  Batch in_;
+  RowRefs view_scratch_;
+  std::vector<Value> keep_;
+};
+
+class ProjectCursor : public BatchCursor {
+ public:
+  ProjectCursor(CursorPtr child, const std::vector<ProjectionItem>* items,
+                ExecContext* ctx)
+      : child_(std::move(child)),
+        items_(items),
+        ctx_(ctx),
+        inferred_(items->size(), DataType::kNull) {}
+
+  Status Open() override {
+    DIP_RETURN_NOT_OK(child_->Open());
+    ctx_->operator_invocations++;
+    RebuildSchema();
+    return Status::OK();
+  }
+  Status Next(Batch* batch) override {
+    batch->clear();
+    DIP_RETURN_NOT_OK(child_->Next(&in_));
+    if (in_.empty()) return Status::OK();
+    ctx_->rows_processed += in_.size();
+    const Schema& in_schema = child_->schema();
+    const auto& items = *items_;
+    const RowRefs& view = BatchView(in_, &view_scratch_);
+    // Column-at-a-time: one EvalBatch per projection item per batch. Bare
+    // uncast column references skip the value buffer entirely — the index is
+    // resolved once per batch and values are copied straight from the input
+    // rows in the row-build loop below.
+    cols_.resize(items.size());
+    col_idx_.assign(items.size(), SIZE_MAX);
+    bool inferred_changed = false;
+    for (size_t i = 0; i < items.size(); ++i) {
+      const std::string* col = items[i].cast_to == DataType::kNull
+                                   ? ColumnRefName(*items[i].expr)
+                                   : nullptr;
+      if (col != nullptr) {
+        DIP_ASSIGN_OR_RETURN(size_t idx, in_schema.RequireIndexOf(*col));
+        for (const Row* row : view) {
+          if (idx >= row->size()) {
+            return Status::Internal("row narrower than schema");
+          }
+        }
+        col_idx_[i] = idx;
+        if (inferred_[i] == DataType::kNull) {
+          for (const Row* row : view) {
+            if (!(*row)[idx].is_null()) {
+              inferred_[i] = (*row)[idx].type();
+              inferred_changed = true;
+              break;
+            }
+          }
+        }
+        continue;
+      }
+      DIP_RETURN_NOT_OK(items[i].expr->EvalBatch(view, in_schema, &cols_[i]));
+      if (items[i].cast_to != DataType::kNull) {
+        for (Value& v : cols_[i]) {
+          DIP_ASSIGN_OR_RETURN(v, v.CastTo(items[i].cast_to));
+        }
+      }
+      if (inferred_[i] == DataType::kNull) {
+        for (const Value& v : cols_[i]) {
+          if (!v.is_null()) {
+            inferred_[i] = v.type();
+            inferred_changed = true;
+            break;
+          }
+        }
+      }
+    }
+    batch->rows.reserve(in_.size());
+    for (size_t r = 0; r < in_.size(); ++r) {
+      Row projected;
+      projected.reserve(items.size());
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (col_idx_[i] != SIZE_MAX) {
+          projected.push_back((*view[r])[col_idx_[i]]);
+        } else {
+          projected.push_back(std::move(cols_[i][r]));
+        }
+      }
+      batch->rows.push_back(std::move(projected));
+    }
+    if (inferred_changed) RebuildSchema();
+    return Status::OK();
+  }
+  void Close() override { child_->Close(); }
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  void RebuildSchema() {
+    Schema s;
+    for (size_t i = 0; i < items_->size(); ++i) {
+      const ProjectionItem& item = (*items_)[i];
+      s.AddColumn(item.name, item.cast_to != DataType::kNull ? item.cast_to
+                                                             : inferred_[i]);
+    }
+    schema_ = std::move(s);
+  }
+
+  CursorPtr child_;
+  const std::vector<ProjectionItem>* items_;
+  ExecContext* ctx_;
+  std::vector<DataType> inferred_;
+  Schema schema_;
+  Batch in_;
+  RowRefs view_scratch_;
+  std::vector<std::vector<Value>> cols_;
+  std::vector<size_t> col_idx_;  // SIZE_MAX = not a bare column reference
+};
+
+/// Build side (right) is drained and hashed at Open; probe side streams.
+class HashJoinCursor : public BatchCursor {
+ public:
+  HashJoinCursor(CursorPtr left, CursorPtr right,
+                 const std::vector<std::string>* lkeys,
+                 const std::vector<std::string>* rkeys, ExecContext* ctx)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        lkeys_(lkeys),
+        rkeys_(rkeys),
+        ctx_(ctx) {}
+
+  Status Open() override {
+    DIP_RETURN_NOT_OK(left_->Open());
+    DIP_ASSIGN_OR_RETURN(build_data_, DrainCursor(right_.get()));
+    ctx_->operator_invocations++;
+    if (lkeys_->size() != rkeys_->size() || lkeys_->empty()) {
+      return Status::InvalidArgument("join key arity mismatch");
+    }
+    for (const auto& k : *lkeys_) {
+      DIP_ASSIGN_OR_RETURN(size_t i, left_->schema().RequireIndexOf(k));
+      lidx_.push_back(i);
+    }
+    for (const auto& k : *rkeys_) {
+      DIP_ASSIGN_OR_RETURN(size_t i, build_data_.schema.RequireIndexOf(k));
+      ridx_.push_back(i);
+    }
+    build_.reserve(build_data_.rows.size());
+    for (size_t i = 0; i < build_data_.rows.size(); ++i) {
+      ctx_->rows_processed++;
+      build_.emplace(HashRowKey(build_data_.rows[i], ridx_), i);
+    }
+    return Status::OK();
+  }
+  Status Next(Batch* batch) override {
+    batch->clear();
+    for (;;) {
+      DIP_RETURN_NOT_OK(left_->Next(&in_));
+      if (in_.empty()) return Status::OK();
+      for (size_t r = 0; r < in_.size(); ++r) {
+        const Row& lrow = in_.row(r);
+        ctx_->rows_processed++;
+        size_t h = HashRowKey(lrow, lidx_);
+        auto range = build_.equal_range(h);
+        for (auto it = range.first; it != range.second; ++it) {
+          const Row& rrow = build_data_.rows[it->second];
+          bool match = true;
+          for (size_t k = 0; k < lidx_.size(); ++k) {
+            if (lrow[lidx_[k]].Compare(rrow[ridx_[k]]) != 0 ||
+                lrow[lidx_[k]].is_null()) {
+              match = false;
+              break;
+            }
+          }
+          if (!match) continue;
+          Row joined = lrow;
+          joined.insert(joined.end(), rrow.begin(), rrow.end());
+          batch->rows.push_back(std::move(joined));
+        }
+      }
+      if (!batch->rows.empty()) return Status::OK();
+    }
+  }
+  void Close() override { left_->Close(); }
+  const Schema& schema() const override {
+    // The probe-side schema may still be provisional mid-stream, so the
+    // joined schema is rebuilt on demand rather than fixed at Open.
+    Schema s = left_->schema();
+    for (const auto& col : build_data_.schema.columns()) {
+      std::string name = col.name;
+      while (s.HasColumn(name)) name = "r_" + name;
+      s.AddColumn(name, col.type, col.nullable);
+    }
+    schema_cache_ = std::move(s);
+    return schema_cache_;
+  }
+
+ private:
+  CursorPtr left_, right_;
+  const std::vector<std::string>* lkeys_;
+  const std::vector<std::string>* rkeys_;
+  ExecContext* ctx_;
+  RowSet build_data_;
+  std::unordered_multimap<size_t, size_t> build_;
+  std::vector<size_t> lidx_, ridx_;
+  Batch in_;
+  mutable Schema schema_cache_;
+};
+
+/// Emits the first `limit` rows but keeps draining its child afterwards so
+/// the child's cost counters match the materializing path exactly (LIMIT
+/// bounds result size, not accounted work).
+class LimitCursor : public BatchCursor {
+ public:
+  LimitCursor(CursorPtr child, size_t limit, ExecContext* ctx)
+      : child_(std::move(child)), limit_(limit), ctx_(ctx) {}
+
+  Status Open() override {
+    DIP_RETURN_NOT_OK(child_->Open());
+    ctx_->operator_invocations++;
+    return Status::OK();
+  }
+  Status Next(Batch* batch) override {
+    batch->clear();
+    for (;;) {
+      DIP_RETURN_NOT_OK(child_->Next(&in_));
+      if (in_.empty()) return Status::OK();
+      if (emitted_ >= limit_) continue;  // past the limit: drain, emit nothing
+      size_t take = std::min(limit_ - emitted_, in_.size());
+      if (in_.borrowed()) {
+        batch->refs.assign(in_.refs.begin(), in_.refs.begin() + take);
+      } else {
+        batch->rows.reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+          batch->rows.push_back(std::move(in_.rows[i]));
+        }
+      }
+      emitted_ += take;
+      ctx_->rows_processed += take;
+      return Status::OK();
+    }
+  }
+  void Close() override { child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  CursorPtr child_;
+  size_t limit_;
+  ExecContext* ctx_;
+  Batch in_;
+  size_t emitted_ = 0;
+};
 
 class ScanTableNode : public PlanNode {
  public:
   explicit ScanTableNode(const Table* table) : table_(table) {}
-  Result<RowSet> Execute(ExecContext* ctx) const override {
+  CursorPtr MakeCursor(ExecContext* ctx) const override {
+    return std::make_unique<ScanTableCursor>(table_, ctx);
+  }
+  std::string ToString() const override {
+    return "Scan(" + table_->name() + ")";
+  }
+
+ protected:
+  Result<RowSet> ExecuteMaterialized(ExecContext* ctx) const override {
     ctx->operator_invocations++;
     RowSet out;
     out.schema = table_->schema();
     out.rows = table_->ScanAll();
     ctx->rows_processed += out.rows.size();
     return out;
-  }
-  std::string ToString() const override {
-    return "Scan(" + table_->name() + ")";
   }
 
  private:
@@ -45,17 +496,20 @@ class IndexRangeScanNode : public PlanNode {
         index_name_(std::move(index_name)),
         lo_(std::move(lo)),
         hi_(std::move(hi)) {}
-  Result<RowSet> Execute(ExecContext* ctx) const override {
+  std::string ToString() const override {
+    return "IndexRangeScan(" + table_->name() + "." + index_name_ + ", [" +
+           lo_.ToString() + ", " + hi_.ToString() + "])";
+  }
+
+ protected:
+  // Blocking in both modes: the ordered index delivers the full range.
+  Result<RowSet> ExecuteMaterialized(ExecContext* ctx) const override {
     ctx->operator_invocations++;
     RowSet out;
     out.schema = table_->schema();
     DIP_ASSIGN_OR_RETURN(out.rows, table_->LookupRange(index_name_, lo_, hi_));
     ctx->rows_processed += out.rows.size();
     return out;
-  }
-  std::string ToString() const override {
-    return "IndexRangeScan(" + table_->name() + "." + index_name_ + ", [" +
-           lo_.ToString() + ", " + hi_.ToString() + "])";
   }
 
  private:
@@ -67,24 +521,59 @@ class IndexRangeScanNode : public PlanNode {
 class ScanValuesNode : public PlanNode {
  public:
   explicit ScanValuesNode(RowSet rows) : rows_(std::move(rows)) {}
-  Result<RowSet> Execute(ExecContext* ctx) const override {
-    ctx->operator_invocations++;
-    ctx->rows_processed += rows_.rows.size();
-    return rows_;
+  CursorPtr MakeCursor(ExecContext* ctx) const override {
+    return std::make_unique<RowSliceCursor>(&rows_, ctx);
   }
   std::string ToString() const override {
     return StrFormat("Values(%zu rows)", rows_.rows.size());
+  }
+
+ protected:
+  Result<RowSet> ExecuteMaterialized(ExecContext* ctx) const override {
+    ctx->operator_invocations++;
+    ctx->rows_processed += rows_.rows.size();
+    return rows_;
   }
 
  private:
   RowSet rows_;
 };
 
+class ScanValuesRefNode : public PlanNode {
+ public:
+  explicit ScanValuesRefNode(const RowSet* rows) : rows_(rows) {}
+  CursorPtr MakeCursor(ExecContext* ctx) const override {
+    return std::make_unique<RowSliceCursor>(rows_, ctx);
+  }
+  std::string ToString() const override {
+    return StrFormat("ValuesRef(%zu rows)", rows_->rows.size());
+  }
+
+ protected:
+  Result<RowSet> ExecuteMaterialized(ExecContext* ctx) const override {
+    ctx->operator_invocations++;
+    ctx->rows_processed += rows_->rows.size();
+    return *rows_;
+  }
+
+ private:
+  const RowSet* rows_;
+};
+
 class FilterNode : public PlanNode {
  public:
   FilterNode(PlanPtr child, ExprPtr predicate)
       : child_(std::move(child)), predicate_(std::move(predicate)) {}
-  Result<RowSet> Execute(ExecContext* ctx) const override {
+  CursorPtr MakeCursor(ExecContext* ctx) const override {
+    return std::make_unique<FilterCursor>(child_->MakeCursor(ctx), predicate_,
+                                          ctx);
+  }
+  std::string ToString() const override {
+    return "Filter(" + predicate_->ToString() + ")";
+  }
+
+ protected:
+  Result<RowSet> ExecuteMaterialized(ExecContext* ctx) const override {
     DIP_ASSIGN_OR_RETURN(RowSet in, child_->Execute(ctx));
     ctx->operator_invocations++;
     RowSet out;
@@ -98,9 +587,6 @@ class FilterNode : public PlanNode {
     }
     return out;
   }
-  std::string ToString() const override {
-    return "Filter(" + predicate_->ToString() + ")";
-  }
 
  private:
   PlanPtr child_;
@@ -111,7 +597,20 @@ class ProjectNode : public PlanNode {
  public:
   ProjectNode(PlanPtr child, std::vector<ProjectionItem> items)
       : child_(std::move(child)), items_(std::move(items)) {}
-  Result<RowSet> Execute(ExecContext* ctx) const override {
+  CursorPtr MakeCursor(ExecContext* ctx) const override {
+    return std::make_unique<ProjectCursor>(child_->MakeCursor(ctx), &items_,
+                                           ctx);
+  }
+  std::string ToString() const override {
+    std::vector<std::string> parts;
+    for (const auto& i : items_) {
+      parts.push_back(i.name + "=" + i.expr->ToString());
+    }
+    return "Project(" + StrJoin(parts, ", ") + ")";
+  }
+
+ protected:
+  Result<RowSet> ExecuteMaterialized(ExecContext* ctx) const override {
     DIP_ASSIGN_OR_RETURN(RowSet in, child_->Execute(ctx));
     ctx->operator_invocations++;
     RowSet out;
@@ -149,13 +648,6 @@ class ProjectNode : public PlanNode {
     out.schema = finalized;
     return out;
   }
-  std::string ToString() const override {
-    std::vector<std::string> parts;
-    for (const auto& i : items_) {
-      parts.push_back(i.name + "=" + i.expr->ToString());
-    }
-    return "Project(" + StrJoin(parts, ", ") + ")";
-  }
 
  private:
   PlanPtr child_;
@@ -171,7 +663,19 @@ class HashJoinNode : public PlanNode {
         lkeys_(std::move(lkeys)),
         rkeys_(std::move(rkeys)) {}
 
-  Result<RowSet> Execute(ExecContext* ctx) const override {
+  CursorPtr MakeCursor(ExecContext* ctx) const override {
+    return std::make_unique<HashJoinCursor>(left_->MakeCursor(ctx),
+                                            right_->MakeCursor(ctx), &lkeys_,
+                                            &rkeys_, ctx);
+  }
+
+  std::string ToString() const override {
+    return "HashJoin(" + StrJoin(lkeys_, ",") + " = " + StrJoin(rkeys_, ",") +
+           ")";
+  }
+
+ protected:
+  Result<RowSet> ExecuteMaterialized(ExecContext* ctx) const override {
     DIP_ASSIGN_OR_RETURN(RowSet l, left_->Execute(ctx));
     DIP_ASSIGN_OR_RETURN(RowSet r, right_->Execute(ctx));
     ctx->operator_invocations++;
@@ -224,11 +728,6 @@ class HashJoinNode : public PlanNode {
     return out;
   }
 
-  std::string ToString() const override {
-    return "HashJoin(" + StrJoin(lkeys_, ",") + " = " + StrJoin(rkeys_, ",") +
-           ")";
-  }
-
  private:
   PlanPtr left_, right_;
   std::vector<std::string> lkeys_, rkeys_;
@@ -240,7 +739,14 @@ class UnionDistinctNode : public PlanNode {
                     std::vector<std::string> key_columns)
       : children_(std::move(children)), key_columns_(std::move(key_columns)) {}
 
-  Result<RowSet> Execute(ExecContext* ctx) const override {
+  std::string ToString() const override {
+    return StrFormat("UnionDistinct(%zu inputs, key=[%s])", children_.size(),
+                     StrJoin(key_columns_, ",").c_str());
+  }
+
+ protected:
+  // Blocking: dedup needs all inputs. Children stream via Execute dispatch.
+  Result<RowSet> ExecuteMaterialized(ExecContext* ctx) const override {
     if (children_.empty()) {
       return Status::InvalidArgument("UNION of zero inputs");
     }
@@ -297,11 +803,6 @@ class UnionDistinctNode : public PlanNode {
     return out;
   }
 
-  std::string ToString() const override {
-    return StrFormat("UnionDistinct(%zu inputs, key=[%s])", children_.size(),
-                     StrJoin(key_columns_, ",").c_str());
-  }
-
  private:
   std::vector<PlanPtr> children_;
   std::vector<std::string> key_columns_;
@@ -315,7 +816,14 @@ class AggregateNode : public PlanNode {
         group_by_(std::move(group_by)),
         aggs_(std::move(aggs)) {}
 
-  Result<RowSet> Execute(ExecContext* ctx) const override {
+  std::string ToString() const override {
+    return StrFormat("Aggregate(group=[%s], %zu aggs)",
+                     StrJoin(group_by_, ",").c_str(), aggs_.size());
+  }
+
+ protected:
+  // Blocking: groups close only at end of input. Child streams via Execute.
+  Result<RowSet> ExecuteMaterialized(ExecContext* ctx) const override {
     DIP_ASSIGN_OR_RETURN(RowSet in, child_->Execute(ctx));
     ctx->operator_invocations++;
     std::vector<size_t> group_idx;
@@ -420,11 +928,6 @@ class AggregateNode : public PlanNode {
     return out;
   }
 
-  std::string ToString() const override {
-    return StrFormat("Aggregate(group=[%s], %zu aggs)",
-                     StrJoin(group_by_, ",").c_str(), aggs_.size());
-  }
-
  private:
   PlanPtr child_;
   std::vector<std::string> group_by_;
@@ -435,7 +938,17 @@ class SortNode : public PlanNode {
  public:
   SortNode(PlanPtr child, std::vector<SortKey> keys)
       : child_(std::move(child)), keys_(std::move(keys)) {}
-  Result<RowSet> Execute(ExecContext* ctx) const override {
+  std::string ToString() const override {
+    std::vector<std::string> parts;
+    for (const auto& k : keys_) {
+      parts.push_back(k.column + (k.ascending ? " ASC" : " DESC"));
+    }
+    return "Sort(" + StrJoin(parts, ", ") + ")";
+  }
+
+ protected:
+  // Blocking: order is only known once all input has arrived.
+  Result<RowSet> ExecuteMaterialized(ExecContext* ctx) const override {
     DIP_ASSIGN_OR_RETURN(RowSet in, child_->Execute(ctx));
     ctx->operator_invocations++;
     ctx->rows_processed += in.rows.size();
@@ -456,13 +969,6 @@ class SortNode : public PlanNode {
                      });
     return in;
   }
-  std::string ToString() const override {
-    std::vector<std::string> parts;
-    for (const auto& k : keys_) {
-      parts.push_back(k.column + (k.ascending ? " ASC" : " DESC"));
-    }
-    return "Sort(" + StrJoin(parts, ", ") + ")";
-  }
 
  private:
   PlanPtr child_;
@@ -473,15 +979,20 @@ class LimitNode : public PlanNode {
  public:
   LimitNode(PlanPtr child, size_t limit)
       : child_(std::move(child)), limit_(limit) {}
-  Result<RowSet> Execute(ExecContext* ctx) const override {
+  CursorPtr MakeCursor(ExecContext* ctx) const override {
+    return std::make_unique<LimitCursor>(child_->MakeCursor(ctx), limit_, ctx);
+  }
+  std::string ToString() const override {
+    return StrFormat("Limit(%zu)", limit_);
+  }
+
+ protected:
+  Result<RowSet> ExecuteMaterialized(ExecContext* ctx) const override {
     DIP_ASSIGN_OR_RETURN(RowSet in, child_->Execute(ctx));
     ctx->operator_invocations++;
     if (in.rows.size() > limit_) in.rows.resize(limit_);
     ctx->rows_processed += in.rows.size();
     return in;
-  }
-  std::string ToString() const override {
-    return StrFormat("Limit(%zu)", limit_);
   }
 
  private:
@@ -501,6 +1012,9 @@ PlanPtr IndexRangeScan(const Table* table, std::string index_name, Value lo,
 }
 PlanPtr ScanValues(RowSet rows) {
   return std::make_shared<ScanValuesNode>(std::move(rows));
+}
+PlanPtr ScanValuesRef(const RowSet* rows) {
+  return std::make_shared<ScanValuesRefNode>(rows);
 }
 PlanPtr Filter(PlanPtr child, ExprPtr predicate) {
   return std::make_shared<FilterNode>(std::move(child), std::move(predicate));

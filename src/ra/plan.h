@@ -1,6 +1,7 @@
 #ifndef DIPBENCH_RA_PLAN_H_
 #define DIPBENCH_RA_PLAN_H_
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,35 +13,141 @@
 
 namespace dipbench {
 
-/// A materialized intermediate result: schema + rows. The engine
-/// materializes between operators — mirroring the paper's Fig. 9b, where
+/// A materialized intermediate result: schema + rows. The engine can
+/// materialize between operators — mirroring the paper's Fig. 9b, where
 /// integration processes stage data through "temporary tables (local
-/// materialization points)".
+/// materialization points)" — or stream batches between them (see BatchCursor
+/// below); both produce identical RowSets and cost counters.
 struct RowSet {
   Schema schema;
   std::vector<Row> rows;
 
   size_t size() const { return rows.size(); }
   /// Approximate wire size, used for communication-cost accounting.
+  /// Cached: recomputed only when the row count changes since the last call
+  /// (operators in this engine never mutate values in place at constant
+  /// cardinality — sorting permutes rows, which preserves the byte size).
   size_t ByteSize() const;
+
+  // ByteSize memo; internal. Trailing members keep the struct an aggregate.
+  mutable size_t byte_size_cache_ = 0;
+  mutable size_t byte_size_cache_rows_ = SIZE_MAX;
 };
 
 /// Execution-side counters consumed by the cost model: every operator adds
 /// the rows it touches, so processing cost is derived from work done rather
-/// than from wall-clock time (deterministic across machines).
+/// than from wall-clock time (deterministic across machines). Both execution
+/// modes produce identical totals for a fully drained plan.
 struct ExecContext {
   uint64_t rows_processed = 0;
   uint64_t operator_invocations = 0;
 };
 
-/// Base class for materializing plan operators.
+/// How plans execute.
+///   kMaterialize — every operator produces a full RowSet (legacy behavior).
+///   kPipeline    — operators stream fixed-capacity batches through an
+///                  Open/Next/Close cursor chain; only inherently blocking
+///                  operators (sort, aggregation, union-distinct, index range
+///                  scan, and the hash-join build side) materialize.
+enum class ExecMode { kMaterialize, kPipeline };
+
+/// Process-wide execution mode (the engine is single-threaded DES; this is
+/// not synchronized). Defaults to kPipeline.
+ExecMode CurrentExecMode();
+void SetExecMode(ExecMode mode);
+
+/// RAII mode override for tests and benchmarks.
+class ScopedExecMode {
+ public:
+  explicit ScopedExecMode(ExecMode mode) : prev_(CurrentExecMode()) {
+    SetExecMode(mode);
+  }
+  ~ScopedExecMode() { SetExecMode(prev_); }
+  ScopedExecMode(const ScopedExecMode&) = delete;
+  ScopedExecMode& operator=(const ScopedExecMode&) = delete;
+
+ private:
+  ExecMode prev_;
+};
+
+/// Target number of rows per streamed batch. Cardinality-expanding operators
+/// (hash join) may overshoot for a single batch instead of buffering.
+inline constexpr size_t kBatchCapacity = 1024;
+
+/// One chunk of rows flowing through a cursor chain. A batch is either
+/// *owned* (`rows` filled, `refs` empty — operators that build new rows:
+/// projection, join output, the materializing adapter) or *borrowed*
+/// (`refs` filled, `rows` empty — leaf scans point straight into table /
+/// RowSet storage, and pass-through operators like filter and limit forward
+/// the pointers). Borrowed pointees stay valid only until the next Next()
+/// or Close() call on the cursor that produced them, which is exactly the
+/// window a pull-based consumer uses them in.
+struct Batch {
+  std::vector<Row> rows;
+  std::vector<const Row*> refs;
+
+  bool borrowed() const { return !refs.empty(); }
+  size_t size() const { return borrowed() ? refs.size() : rows.size(); }
+  bool empty() const { return rows.empty() && refs.empty(); }
+  void clear() {
+    rows.clear();
+    refs.clear();
+  }
+  const Row& row(size_t i) const { return borrowed() ? *refs[i] : rows[i]; }
+};
+
+/// Pull-based iterator over a plan subtree (Volcano style, batch at a time).
+///
+/// Protocol: Open() once, then Next() repeatedly until it leaves the batch
+/// empty (end of stream), then Close(). An empty batch always means end of
+/// stream — operators that filter rows keep pulling internally rather than
+/// emit empty non-final batches. schema() may carry provisional column types
+/// (kNull) while the stream is in flight for type-inferring operators
+/// (Project); it is final once end of stream has been observed, which is the
+/// only point the engine reads it.
+class BatchCursor {
+ public:
+  virtual ~BatchCursor() = default;
+  virtual Status Open() = 0;
+  /// Clears `*batch` and fills it with up to kBatchCapacity rows.
+  virtual Status Next(Batch* batch) = 0;
+  virtual void Close() = 0;
+  virtual const Schema& schema() const = 0;
+};
+
+using CursorPtr = std::unique_ptr<BatchCursor>;
+
+/// Opens `cursor`, pulls it to end of stream, and returns the accumulated
+/// RowSet (schema read after end of stream, when it is final).
+Result<RowSet> DrainCursor(BatchCursor* cursor);
+
+/// Base class for plan operators. Execution dispatches on CurrentExecMode():
+/// materializing mode calls the node's ExecuteMaterialized recursively;
+/// pipelined mode builds a cursor chain via MakeCursor and drains it. Both
+/// paths yield identical rows, schemas, and ExecContext totals.
 class PlanNode {
  public:
   virtual ~PlanNode() = default;
-  /// Executes the subtree and returns the materialized result.
-  virtual Result<RowSet> Execute(ExecContext* ctx) const = 0;
+
+  /// Executes the subtree and returns the materialized result (dispatching
+  /// on the current execution mode).
+  Result<RowSet> Execute(ExecContext* ctx) const;
+
+  /// Returns a batch cursor over this subtree. The base implementation
+  /// adapts ExecuteMaterialized (materialize at Open, then emit batches);
+  /// streaming operators override it with true pipelined cursors. Blocking
+  /// operators keep the adapter — their children still stream, because the
+  /// adapter executes them through the mode-dispatching Execute().
+  virtual CursorPtr MakeCursor(ExecContext* ctx) const;
+
   /// One-line description (operator name + parameters).
   virtual std::string ToString() const = 0;
+
+ protected:
+  /// Executes the subtree with full materialization between operators.
+  /// Children are invoked through Execute(), so in pipelined mode a blocking
+  /// operator's inputs are still produced by streaming.
+  virtual Result<RowSet> ExecuteMaterialized(ExecContext* ctx) const = 0;
 };
 
 using PlanPtr = std::shared_ptr<const PlanNode>;
@@ -69,22 +176,28 @@ struct SortKey {
   bool ascending = true;
 };
 
-/// Leaf: scans all live rows of a storage table.
+/// Leaf: scans all live rows of a storage table (streams straight from the
+/// table's batch cursor in pipelined mode — no up-front full copy).
 PlanPtr ScanTable(const Table* table);
 /// Leaf: range scan over an ordered index of the table: rows whose indexed
 /// column lies in [lo, hi] (a NULL bound is open), in ascending index
 /// order. The index must exist (CreateOrderedIndex).
 PlanPtr IndexRangeScan(const Table* table, std::string index_name, Value lo,
                        Value hi);
-/// Leaf: wraps an already materialized row set.
+/// Leaf: wraps an already materialized row set (owned copy).
 PlanPtr ScanValues(RowSet rows);
+/// Leaf: like ScanValues but borrows the row set — `rows` must outlive every
+/// Execute()/cursor drain of the returned plan. Avoids copying bulk inputs
+/// into the plan (the common case in operator bodies).
+PlanPtr ScanValuesRef(const RowSet* rows);
 /// σ: keeps rows for which `predicate` evaluates to true.
 PlanPtr Filter(PlanPtr child, ExprPtr predicate);
 /// π: computes the given output columns (also does renaming / casting).
 PlanPtr Project(PlanPtr child, std::vector<ProjectionItem> items);
 /// Inner hash equi-join on (left_keys[i] == right_keys[i]).
 /// Output schema concatenates left columns then right columns; name
-/// collisions on the right get a "r_" prefix.
+/// collisions on the right get a "r_" prefix. The right (build) side is
+/// blocking; the left (probe) side streams.
 PlanPtr HashJoin(PlanPtr left, PlanPtr right,
                  std::vector<std::string> left_keys,
                  std::vector<std::string> right_keys);
@@ -100,7 +213,9 @@ PlanPtr Aggregate(PlanPtr child, std::vector<std::string> group_by,
                   std::vector<AggregateItem> aggregates);
 /// Stable multi-key sort.
 PlanPtr Sort(PlanPtr child, std::vector<SortKey> keys);
-/// Keeps the first `limit` rows.
+/// Keeps the first `limit` rows. For cost determinism the pipelined cursor
+/// still drains its child fully (counters must not depend on the mode);
+/// LIMIT here bounds result size, not work, exactly as in legacy mode.
 PlanPtr Limit(PlanPtr child, size_t limit);
 
 /// Inserts every result row into `table` (append; duplicate-key rows are

@@ -218,10 +218,39 @@ void Table::ForEach(const std::function<void(const Row&)>& fn) const {
   }
 }
 
+size_t Table::ScanCursor::NextBatch(std::vector<Row>* out, size_t max_rows) {
+  size_t emitted = 0;
+  while (slot_ < table_->rows_.size() && emitted < max_rows) {
+    if (table_->live_[slot_]) {
+      ++table_->rows_read_;
+      out->push_back(table_->rows_[slot_]);
+      ++emitted;
+    }
+    ++slot_;
+  }
+  return emitted;
+}
+
+size_t Table::ScanCursor::NextBatchRefs(std::vector<const Row*>* out,
+                                        size_t max_rows) {
+  size_t emitted = 0;
+  while (slot_ < table_->rows_.size() && emitted < max_rows) {
+    if (table_->live_[slot_]) {
+      ++table_->rows_read_;
+      out->push_back(&table_->rows_[slot_]);
+      ++emitted;
+    }
+    ++slot_;
+  }
+  return emitted;
+}
+
 std::vector<Row> Table::ScanAll() const {
   std::vector<Row> out;
   out.reserve(live_count_);
-  ForEach([&out](const Row& r) { out.push_back(r); });
+  ScanCursor cursor = Scan();
+  while (cursor.NextBatch(&out, live_count_ + 1) > 0) {
+  }
   return out;
 }
 

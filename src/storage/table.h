@@ -60,7 +60,29 @@ class Table {
   /// Visits every live row in insertion order.
   void ForEach(const std::function<void(const Row&)>& fn) const;
 
-  /// Copies all live rows out (insertion order).
+  /// Forward cursor over live rows (insertion order). Delivers rows in
+  /// caller-sized chunks instead of materializing the whole table up front;
+  /// bumps rows_read() per delivered row exactly like ForEach/ScanAll.
+  /// Mutating the table mid-scan invalidates the cursor.
+  class ScanCursor {
+   public:
+    explicit ScanCursor(const Table* table) : table_(table) {}
+    /// Appends up to `max_rows` live rows to `*out`; returns the number
+    /// appended (0 = end of scan).
+    size_t NextBatch(std::vector<Row>* out, size_t max_rows);
+
+    /// Like NextBatch but appends borrowed pointers into the table's row
+    /// storage instead of copies (same rows_read() accounting). The pointers
+    /// stay valid until the table is mutated.
+    size_t NextBatchRefs(std::vector<const Row*>* out, size_t max_rows);
+
+   private:
+    const Table* table_;
+    size_t slot_ = 0;
+  };
+  ScanCursor Scan() const { return ScanCursor(this); }
+
+  /// Copies all live rows out (insertion order). Implemented over Scan().
   std::vector<Row> ScanAll() const;
 
   /// Creates a named secondary (non-unique) hash index over the given

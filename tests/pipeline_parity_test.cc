@@ -1,0 +1,358 @@
+// Parity tests for the two execution modes: the legacy materializing path
+// (every operator produces a full RowSet) and the batch-pipelined path
+// (Open/Next/Close cursor chains). The refactor's contract is that the two
+// are observationally identical — same rows, same schemas, and the same
+// ExecContext / storage counters, because those counters feed the cost
+// model (ChargeRows -> Cc/Cm/Cp ledger -> Monitor CSV). The tests here
+// enforce that contract at three levels:
+//
+//   1. operator level: every plan operator, including batch-boundary row
+//      counts (0 / 1 / capacity-1 / capacity / capacity+1 / multi-batch);
+//   2. SQL engine level: a battery of statements with the engine pinned to
+//      each mode;
+//   3. benchmark level: full Client runs of the 15 process types must emit
+//      byte-identical Monitor CSV and identical NAVG+ per process.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/dipbench/client.h"
+#include "src/dipbench/monitor.h"
+#include "src/ra/expr.h"
+#include "src/ra/plan.h"
+#include "src/sql/engine.h"
+#include "src/storage/database.h"
+
+namespace dipbench {
+namespace {
+
+/// Canonical text form of a result: schema (names + types) and every value.
+/// String comparison keeps failure output readable and catches schema drift
+/// (e.g. a mode disagreeing on an inferred projection type).
+std::string Dump(const RowSet& rs) {
+  std::ostringstream out;
+  for (size_t i = 0; i < rs.schema.num_columns(); ++i) {
+    const Column& c = rs.schema.column(i);
+    out << (i ? "," : "") << c.name << ":" << DataTypeToString(c.type);
+  }
+  out << "\n";
+  for (const Row& row : rs.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << (i ? "," : "") << row[i].ToString();
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+struct ModeRun {
+  std::string dump;
+  uint64_t rows_processed = 0;
+  uint64_t operator_invocations = 0;
+  uint64_t db_rows_read = 0;  ///< storage-level reads during the run
+};
+
+class PipelineParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema orders;
+    orders.AddColumn("orderkey", DataType::kInt64, false)
+        .AddColumn("custkey", DataType::kInt64, false)
+        .AddColumn("total", DataType::kDouble)
+        .AddColumn("orderdate", DataType::kDate)
+        .SetPrimaryKey({"orderkey"});
+    orders_ = *db_.CreateTable("orders", orders);
+
+    Schema customer;
+    customer.AddColumn("custkey", DataType::kInt64, false)
+        .AddColumn("name", DataType::kString)
+        .AddColumn("nation", DataType::kString)
+        .SetPrimaryKey({"custkey"});
+    customer_ = *db_.CreateTable("customer", customer);
+
+    for (int i = 1; i <= 3; ++i) {
+      ASSERT_TRUE(customer_
+                      ->Insert({Value::Int(i),
+                                Value::String("c" + std::to_string(i)),
+                                Value::String(i % 2 ? "DE" : "FR")})
+                      .ok());
+    }
+    for (int i = 1; i <= 10; ++i) {
+      ASSERT_TRUE(orders_
+                      ->Insert({Value::Int(i), Value::Int(1 + i % 3),
+                                Value::Double(i * 10.0),
+                                Value::DateYmd(2008, 1 + i % 3, 1 + i)})
+                      .ok());
+    }
+  }
+
+  ModeRun RunIn(const PlanPtr& plan, ExecMode mode) {
+    ScopedExecMode scoped(mode);
+    ExecContext ctx;
+    uint64_t reads_before = db_.TotalRowsRead();
+    auto rs = plan->Execute(&ctx);
+    EXPECT_TRUE(rs.ok()) << rs.status();
+    ModeRun run;
+    if (rs.ok()) run.dump = Dump(*rs);
+    run.rows_processed = ctx.rows_processed;
+    run.operator_invocations = ctx.operator_invocations;
+    run.db_rows_read = db_.TotalRowsRead() - reads_before;
+    return run;
+  }
+
+  /// The core assertion: identical rows AND identical counters between the
+  /// modes. Counter equality is what keeps the cost ledger (and therefore
+  /// the Monitor's NAVG+ output) independent of the execution mode.
+  void ExpectParity(const PlanPtr& plan) {
+    ModeRun mat = RunIn(plan, ExecMode::kMaterialize);
+    ModeRun pipe = RunIn(plan, ExecMode::kPipeline);
+    EXPECT_EQ(mat.dump, pipe.dump);
+    EXPECT_EQ(mat.rows_processed, pipe.rows_processed);
+    EXPECT_EQ(mat.operator_invocations, pipe.operator_invocations);
+    EXPECT_EQ(mat.db_rows_read, pipe.db_rows_read);
+  }
+
+  Database db_{"test"};
+  Table* orders_ = nullptr;
+  Table* customer_ = nullptr;
+};
+
+TEST_F(PipelineParityTest, Scan) { ExpectParity(ScanTable(orders_)); }
+
+TEST_F(PipelineParityTest, Filter) {
+  ExpectParity(Filter(ScanTable(orders_), Gt(Col("total"), Lit(50.0))));
+  // Everything filtered out.
+  ExpectParity(Filter(ScanTable(orders_), Gt(Col("total"), Lit(1e9))));
+  // Short-circuiting logical predicate.
+  ExpectParity(Filter(ScanTable(orders_),
+                      Or(Le(Col("orderkey"), Lit(int64_t{2})),
+                         And(Eq(Col("custkey"), Lit(int64_t{1})),
+                             Ge(Col("total"), Lit(40.0))))));
+}
+
+TEST_F(PipelineParityTest, Project) {
+  ExpectParity(Project(
+      ScanTable(orders_),
+      {{"orderkey", Col("orderkey"), DataType::kNull},
+       {"gross", Mul(Col("total"), Lit(1.19)), DataType::kNull},
+       {"total_int", Col("total"), DataType::kInt64},  // forced cast
+       {"flag", IsNull(Col("orderdate")), DataType::kNull}}));
+}
+
+TEST_F(PipelineParityTest, HashJoin) {
+  ExpectParity(HashJoin(ScanTable(orders_), ScanTable(customer_),
+                        {"custkey"}, {"custkey"}));
+  // Empty probe side.
+  ExpectParity(HashJoin(
+      Filter(ScanTable(orders_), Gt(Col("total"), Lit(1e9))),
+      ScanTable(customer_), {"custkey"}, {"custkey"}));
+  // Empty build side.
+  ExpectParity(HashJoin(
+      ScanTable(orders_),
+      Filter(ScanTable(customer_), Eq(Col("nation"), Lit("XX"))),
+      {"custkey"}, {"custkey"}));
+}
+
+TEST_F(PipelineParityTest, IndexRangeScan) {
+  ASSERT_TRUE(orders_->CreateOrderedIndex("by_total", "total").ok());
+  ExpectParity(IndexRangeScan(orders_, "by_total", Value::Double(25.0),
+                              Value::Double(75.0)));
+}
+
+TEST_F(PipelineParityTest, UnionDistinct) {
+  auto first =
+      Filter(ScanTable(orders_), Le(Col("orderkey"), Lit(int64_t{6})));
+  auto second =
+      Filter(ScanTable(orders_), Ge(Col("orderkey"), Lit(int64_t{4})));
+  ExpectParity(UnionDistinct({first, second}, {"orderkey"}));
+}
+
+TEST_F(PipelineParityTest, Aggregate) {
+  ExpectParity(Aggregate(ScanTable(orders_), {},
+                         {{"n", AggFunc::kCount, ""},
+                          {"sum_total", AggFunc::kSum, "total"},
+                          {"avg_total", AggFunc::kAvg, "total"}}));
+  ExpectParity(Aggregate(ScanTable(orders_), {"custkey"},
+                         {{"n", AggFunc::kCount, ""},
+                          {"max_total", AggFunc::kMax, "total"}}));
+}
+
+TEST_F(PipelineParityTest, Sort) {
+  ExpectParity(Sort(ScanTable(orders_), {{"total", false}}));
+  ExpectParity(
+      Sort(ScanTable(orders_), {{"custkey", true}, {"orderkey", true}}));
+}
+
+TEST_F(PipelineParityTest, Limit) {
+  // The pipelined Limit drains its child fully for counter parity; these
+  // assert both the rows AND the work counters match.
+  ExpectParity(Limit(ScanTable(orders_), 0));
+  ExpectParity(Limit(ScanTable(orders_), 3));
+  ExpectParity(Limit(ScanTable(orders_), 100));
+}
+
+TEST_F(PipelineParityTest, ComposedPipeline) {
+  ExpectParity(Limit(
+      Sort(Project(Filter(HashJoin(ScanTable(orders_), ScanTable(customer_),
+                                   {"custkey"}, {"custkey"}),
+                          Gt(Col("total"), Lit(20.0))),
+                   {{"name", Col("name"), DataType::kNull},
+                    {"total", Col("total"), DataType::kNull}}),
+           {{"total", false}}),
+      4));
+}
+
+// Row counts straddling the batch capacity: 0, 1, capacity-1, capacity,
+// capacity+1, and a multi-batch count that is not a multiple of it.
+TEST_F(PipelineParityTest, BatchBoundaries) {
+  for (size_t n : {size_t{0}, size_t{1}, kBatchCapacity - 1, kBatchCapacity,
+                   kBatchCapacity + 1, 2 * kBatchCapacity + 53}) {
+    Schema s;
+    s.AddColumn("k", DataType::kInt64, false)
+        .AddColumn("v", DataType::kDouble);
+    RowSet data;
+    data.schema = s;
+    for (size_t i = 0; i < n; ++i) {
+      data.rows.push_back(
+          {Value::Int(static_cast<int64_t>(i)), Value::Double(i * 0.5)});
+    }
+    PlanPtr scan = ScanValues(std::move(data));
+    ExpectParity(scan);
+    ExpectParity(Filter(scan, Eq(Arith(ArithmeticOp::kMod, Col("k"),
+                                       Lit(int64_t{2})),
+                                 Lit(int64_t{0}))));
+    ExpectParity(
+        Project(Filter(scan, Gt(Col("v"), Lit(10.0))),
+                {{"doubled", Mul(Col("v"), Lit(2.0)), DataType::kNull}}));
+    ExpectParity(Limit(scan, n / 2 + 1));
+  }
+}
+
+TEST_F(PipelineParityTest, SqlEngineBattery) {
+  const char* ddl =
+      "CREATE TABLE t (k INT NOT NULL, grp INT, v DOUBLE, s VARCHAR, "
+      "PRIMARY KEY (k))";
+  const char* statements[] = {
+      "SELECT * FROM t",
+      "SELECT k, v * 2 AS twice FROM t WHERE grp = 1",
+      "SELECT grp, COUNT(*) AS n, SUM(v) AS total FROM t GROUP BY grp "
+      "ORDER BY grp",
+      "SELECT DISTINCT grp FROM t ORDER BY grp",
+      "SELECT s, v FROM t ORDER BY v DESC LIMIT 5",
+      "SELECT * FROM t JOIN grps ON grp = gid LIMIT 7",
+  };
+
+  auto run_mode = [&](ExecMode mode, std::vector<std::string>* dumps,
+                      std::vector<uint64_t>* work) {
+    Database db("sql_parity");
+    sql::SqlEngine engine(&db);
+    engine.set_exec_mode(mode);
+    ASSERT_TRUE(engine.Execute(ddl).ok());
+    ASSERT_TRUE(engine
+                    .Execute("CREATE TABLE grps (gid INT NOT NULL, "
+                             "label VARCHAR, PRIMARY KEY (gid))")
+                    .ok());
+    for (int g = 0; g < 4; ++g) {
+      std::ostringstream ins;
+      ins << "INSERT INTO grps VALUES (" << g << ", 'g" << g << "')";
+      ASSERT_TRUE(engine.Execute(ins.str()).ok());
+    }
+    for (int i = 0; i < 40; ++i) {
+      std::ostringstream ins;
+      ins << "INSERT INTO t VALUES (" << i << ", " << i % 4 << ", "
+          << (i * 1.5) << ", 's" << i % 7 << "')";
+      ASSERT_TRUE(engine.Execute(ins.str()).ok());
+    }
+    for (const char* stmt : statements) {
+      auto result = engine.Execute(stmt);
+      if (!result.ok()) {
+        // Statement shape unsupported by the mini-parser: both modes must
+        // at least agree on that.
+        dumps->push_back("ERROR: " + result.status().ToString());
+        work->push_back(0);
+        continue;
+      }
+      dumps->push_back(Dump(result->rows));
+      work->push_back(engine.last_exec().rows_processed);
+    }
+  };
+
+  std::vector<std::string> mat_dumps, pipe_dumps;
+  std::vector<uint64_t> mat_work, pipe_work;
+  run_mode(ExecMode::kMaterialize, &mat_dumps, &mat_work);
+  run_mode(ExecMode::kPipeline, &pipe_dumps, &pipe_work);
+  ASSERT_EQ(mat_dumps.size(), pipe_dumps.size());
+  for (size_t i = 0; i < mat_dumps.size(); ++i) {
+    EXPECT_EQ(mat_dumps[i], pipe_dumps[i]) << statements[i];
+    EXPECT_EQ(mat_work[i], pipe_work[i]) << statements[i];
+  }
+}
+
+// The top-level contract from the paper's point of view: a full benchmark
+// run — all 15 process types over TinyConfig periods — must produce a
+// byte-identical Monitor CSV (every NAVG, sigma+, NAVG+, Cc/Cm/Cp column)
+// and identical verification totals in both modes. This is what makes the
+// pipelined engine a pure performance refactor rather than a semantic one.
+TEST_F(PipelineParityTest, FullBenchmarkMonitorCsvIsByteIdentical) {
+  ScaleConfig cfg;
+  cfg.datasize = 0.02;
+  cfg.periods = 2;
+  cfg.seed = 7;
+
+  struct BenchRun {
+    std::string csv;
+    std::vector<double> navg_plus;
+    size_t dwh_orders = 0;
+    double dwh_revenue = 0.0;
+    size_t mart_orders_total = 0;
+    size_t failed_messages = 0;
+  };
+  auto run = [&](bool federated, ExecMode mode) -> BenchRun {
+    ScopedExecMode scoped(mode);
+    auto scenario = std::move(Scenario::Create()).ValueOrDie();
+    std::unique_ptr<core::IntegrationSystem> engine;
+    if (federated) {
+      engine = std::make_unique<core::FederatedEngine>(scenario->network());
+    } else {
+      engine = std::make_unique<core::DataflowEngine>(scenario->network());
+    }
+    Client client(scenario.get(), engine.get(), cfg);
+    auto result = client.Run();
+    EXPECT_TRUE(result.ok()) << result.status();
+    BenchRun br;
+    if (!result.ok()) return br;
+    br.csv = Monitor::ToCsv(result->per_process);
+    for (int p = 1; p <= 15; ++p) {
+      char id[8];
+      std::snprintf(id, sizeof(id), "P%02d", p);
+      br.navg_plus.push_back(result->NavgPlus(id));
+    }
+    br.dwh_orders = result->verification.dwh_orders;
+    br.dwh_revenue = result->verification.dwh_revenue;
+    br.mart_orders_total = result->verification.mart_orders_total;
+    br.failed_messages = result->verification.failed_messages;
+    return br;
+  };
+
+  for (bool federated : {true, false}) {
+    SCOPED_TRACE(federated ? "FederatedEngine" : "DataflowEngine");
+    BenchRun mat = run(federated, ExecMode::kMaterialize);
+    BenchRun pipe = run(federated, ExecMode::kPipeline);
+    EXPECT_EQ(mat.csv, pipe.csv);  // byte-identical Monitor output
+    ASSERT_EQ(mat.navg_plus.size(), pipe.navg_plus.size());
+    for (size_t i = 0; i < mat.navg_plus.size(); ++i) {
+      EXPECT_EQ(mat.navg_plus[i], pipe.navg_plus[i]) << "P" << (i + 1);
+    }
+    EXPECT_EQ(mat.dwh_orders, pipe.dwh_orders);
+    EXPECT_EQ(mat.dwh_revenue, pipe.dwh_revenue);
+    EXPECT_EQ(mat.mart_orders_total, pipe.mart_orders_total);
+    EXPECT_EQ(mat.failed_messages, pipe.failed_messages);
+  }
+}
+
+}  // namespace
+}  // namespace dipbench
