@@ -49,6 +49,24 @@ int main(int argc, char** argv) {
   }
   const std::string trace_out = FlagValue(argc, argv, "--trace-out");
   const std::string metrics_out = FlagValue(argc, argv, "--metrics-out");
+  // Fault injection + recovery (src/net/fault.h): --fault-rate=q makes
+  // every endpoint call fail with probability q (seeded, reproducible);
+  // --retry-attempts=n gives each instance n attempts with 1 tu
+  // exponential backoff and dead-letters it when the budget is exhausted.
+  // Defaults keep both off — output is byte-identical to earlier builds.
+  const std::string fault_rate = FlagValue(argc, argv, "--fault-rate");
+  if (!fault_rate.empty()) {
+    config.fault_rate = std::atof(fault_rate.c_str());
+    config.retry_max_attempts = 8;
+    config.retry_backoff_tu = 1.0;
+    config.retry_dead_letter = true;
+  }
+  const std::string retry_attempts = FlagValue(argc, argv, "--retry-attempts");
+  if (!retry_attempts.empty()) {
+    config.retry_max_attempts = std::atoi(retry_attempts.c_str());
+    config.retry_backoff_tu = 1.0;
+    config.retry_dead_letter = true;
+  }
   // --exec-mode=materialize|pipeline (default pipeline). Monitor output is
   // identical between modes; the flag exists for parity checks and timing.
   const std::string exec_mode = FlagValue(argc, argv, "--exec-mode");
@@ -93,6 +111,12 @@ int main(int argc, char** argv) {
   std::printf("%s\n", result->RenderPlot().c_str());
   std::printf("%s\n", Monitor::ToCsv(result->per_process).c_str());
   std::printf("verification: %s\n", result->verification.ToString().c_str());
+  if (config.fault_rate > 0.0 || config.retry_max_attempts > 1) {
+    std::printf("recovery: %llu retries, %llu dead letters at q=%.3f\n",
+                static_cast<unsigned long long>(result->retries),
+                static_cast<unsigned long long>(result->dead_letters),
+                config.fault_rate);
+  }
   std::printf("wall time: %.0f ms for %d periods\n", result->wall_ms,
               config.periods);
 

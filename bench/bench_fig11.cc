@@ -34,12 +34,19 @@ std::string FlagValue(int argc, char** argv, const char* flag) {
 }
 
 Result<BenchmarkResult> RunAt(double datasize, int periods,
+                              double fault_rate = 0.0, int retry_attempts = 1,
                               obs::ObsContext obs = obs::ObsContext()) {
   ScaleConfig config;
   config.datasize = datasize;
   config.time_scale = 1.0;
   config.distribution = Distribution::kUniform;
   config.periods = periods;
+  if (fault_rate > 0.0 || retry_attempts > 1) {
+    config.fault_rate = fault_rate;
+    config.retry_max_attempts = retry_attempts;
+    config.retry_backoff_tu = 1.0;
+    config.retry_dead_letter = true;
+  }
   DIP_ASSIGN_OR_RETURN(auto scenario, Scenario::Create());
   core::FederatedEngine engine(scenario->network());
   Client client(scenario.get(), &engine, config);
@@ -58,6 +65,17 @@ int main(int argc, char** argv) {
   if (const char* p = std::getenv("DIPBENCH_PERIODS")) periods = std::atoi(p);
   const std::string trace_out = FlagValue(argc, argv, "--trace-out");
   const std::string metrics_out = FlagValue(argc, argv, "--metrics-out");
+  // Fault injection + recovery, applied to BOTH runs so the d comparison
+  // stays apples-to-apples. Defaults keep it off (byte-identical output).
+  double fault_rate = 0.0;
+  int retry_attempts = 1;
+  const std::string fault_flag = FlagValue(argc, argv, "--fault-rate");
+  if (!fault_flag.empty()) {
+    fault_rate = std::atof(fault_flag.c_str());
+    retry_attempts = 8;
+  }
+  const std::string retry_flag = FlagValue(argc, argv, "--retry-attempts");
+  if (!retry_flag.empty()) retry_attempts = std::atoi(retry_flag.c_str());
   // --exec-mode=materialize|pipeline (default pipeline). Monitor output is
   // identical between modes; the flag exists for parity checks and timing.
   const std::string exec_mode = FlagValue(argc, argv, "--exec-mode");
@@ -79,8 +97,8 @@ int main(int argc, char** argv) {
     obs = obs::ObsContext(trace_out.empty() ? nullptr : &recorder, &registry);
   }
 
-  auto fig11 = RunAt(0.1, periods, obs);
-  auto fig10 = RunAt(0.05, periods);
+  auto fig11 = RunAt(0.1, periods, fault_rate, retry_attempts, obs);
+  auto fig10 = RunAt(0.05, periods, fault_rate, retry_attempts);
   if (!fig11.ok() || !fig10.ok()) {
     std::fprintf(stderr, "%s %s\n", fig11.status().ToString().c_str(),
                  fig10.status().ToString().c_str());

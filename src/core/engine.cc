@@ -48,9 +48,6 @@ Status EngineBase::RunUntilIdle() {
     VirtualTime start = std::max(ev.when, worker_free_[worker]);
     double wait_ms = start - ev.when;
 
-    ProcessContext ctx(network_, &weights_);
-    ctx.EnableTracing(tracing_enabled_);
-    ctx.BindObs(obs_, start, static_cast<int>(worker));
     uint64_t instance_span = 0;
     if (obs_.trace() != nullptr) {
       instance_span = obs_.trace()->BeginSpan(
@@ -61,13 +58,11 @@ Status EngineBase::RunUntilIdle() {
       obs_.trace()->Annotate(instance_span, "wait_ms",
                              std::to_string(wait_ms));
     }
-    if (ev.message != nullptr) {
-      ctx.SetInput(MtmMessage::FromXml(ev.message));
-    }
     // Admission management: plan instantiation + scheduling + a share of
     // the queueing delay (the engine self-manages while holding instances
     // back — the paper's "time for self-management"). With the plan cache
-    // on, repeat instances reuse the instantiated plan.
+    // on, repeat instances reuse the instantiated plan. Retries re-pay
+    // only the scheduling slice: the plan stays instantiated.
     double plan_ms = weights_.plan_instantiation_ms;
     if (plan_cache_enabled_) {
       if (cached_plans_.insert(def.id).second) {
@@ -78,29 +73,99 @@ Status EngineBase::RunUntilIdle() {
         obs_.Count("engine.plan_cache.hits");
       }
     }
-    ctx.ChargeManagement(plan_ms + weights_.scheduling_ms +
-                         std::min(wait_ms * weights_.wait_management_frac,
-                                  weights_.wait_management_cap_ms));
-
-    Status st = ExecuteInstance(def, &ctx);
+    double admission_ms = plan_ms + weights_.scheduling_ms +
+                          std::min(wait_ms * weights_.wait_management_frac,
+                                   weights_.wait_management_cap_ms);
 
     InstanceRecord rec;
     rec.process_id = def.id;
     rec.period = ev.period;
     rec.submit_time = ev.when;
     rec.start_time = start;
-    rec.end_time = start + ctx.elapsed_ms();
     rec.wait_ms = wait_ms;
-    rec.costs = ctx.costs();
-    rec.net = ctx.net_stats();
-    rec.quality = ctx.quality();
-    rec.trace = std::move(ctx.trace());
+
+    // The attempt loop. With the default policy (max_attempts = 1, no
+    // dead-lettering) this is exactly one pass with the same charges as
+    // the pre-recovery engine: records, costs and traces are identical.
+    const int max_attempts = std::max(1, retry_policy_.max_attempts);
+    Status st;
+    VirtualTime attempt_start = start;
+    VirtualTime end = start;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      ProcessContext ctx(network_, &weights_);
+      ctx.EnableTracing(tracing_enabled_);
+      ctx.BindObs(obs_, attempt_start, static_cast<int>(worker));
+      if (ev.message != nullptr) {
+        ctx.SetInput(MtmMessage::FromXml(ev.message));
+      }
+      ctx.ChargeManagement(attempt == 1 ? admission_ms
+                                        : weights_.scheduling_ms);
+      uint64_t attempt_span = 0;
+      if (attempt > 1 && obs_.trace() != nullptr) {
+        attempt_span = obs_.trace()->BeginSpan(
+            "retry " + def.id + " #" + std::to_string(attempt),
+            obs::Category::kManagement, attempt_start,
+            static_cast<int>(worker));
+      }
+
+      st = ExecuteInstance(def, &ctx);
+
+      end = attempt_start + ctx.elapsed_ms();
+      rec.attempts = attempt;
+      // Every attempt's work is charged — failed tries cost real resources.
+      rec.costs.Add(ctx.costs());
+      rec.net.Add(ctx.net_stats());
+      rec.quality.Add(ctx.quality());
+      std::vector<OperatorTrace>& tr = ctx.trace();
+      rec.trace.insert(rec.trace.end(),
+                       std::make_move_iterator(tr.begin()),
+                       std::make_move_iterator(tr.end()));
+      if (attempt_span != 0) {
+        if (!st.ok()) {
+          obs_.trace()->Annotate(attempt_span, "error", st.ToString());
+        }
+        obs_.trace()->EndSpan(attempt_span, end);
+      }
+      if (st.ok()) break;
+      if (attempt >= max_attempts || !RetryPolicy::IsRetryable(st)) break;
+
+      double backoff_ms = retry_policy_.BackoffMs(attempt);
+      // The per-instance budget runs in virtual time across attempts and
+      // backoffs; once the next try could not start inside it, stop.
+      if (retry_policy_.instance_timeout_ms > 0.0 &&
+          (end + backoff_ms) - start >= retry_policy_.instance_timeout_ms) {
+        st = Status::Timeout("instance budget exhausted after " +
+                             std::to_string(attempt) + " attempts: " +
+                             st.ToString());
+        break;
+      }
+      obs_.Count("engine.retries");
+      if (obs_.trace() != nullptr && backoff_ms > 0.0) {
+        uint64_t backoff_span = obs_.trace()->BeginSpan(
+            "backoff " + def.id, obs::Category::kManagement, end,
+            static_cast<int>(worker));
+        obs_.trace()->EndSpan(backoff_span, end + backoff_ms);
+      }
+      rec.retry_wait_ms += backoff_ms;
+      attempt_start = end + backoff_ms;
+    }
+
+    const bool dead_letter = !st.ok() && retry_policy_.dead_letter;
+    rec.end_time = end;
     rec.ok = st.ok();
+    rec.dead_lettered = dead_letter;
     if (!st.ok()) rec.error = st.ToString();
 
     if (obs_.trace() != nullptr) {
       if (!st.ok()) obs_.trace()->Annotate(instance_span, "error", rec.error);
-      obs_.trace()->EndSpan(instance_span, start + ctx.elapsed_ms());
+      if (rec.attempts > 1) {
+        obs_.trace()->Annotate(instance_span, "attempts",
+                               std::to_string(rec.attempts));
+      }
+      if (dead_letter) {
+        obs_.trace()->Annotate(instance_span, "dead_lettered", "true");
+      }
+      obs_.trace()->EndSpan(instance_span, end);
     }
     if (obs_.metrics() != nullptr) {
       obs::MetricsRegistry* m = obs_.metrics();
@@ -116,11 +181,17 @@ Status EngineBase::RunUntilIdle() {
     }
     records_.push_back(std::move(rec));
 
-    worker_free_[worker] = start + ctx.elapsed_ms();
-    clock_.AdvanceTo(start + ctx.elapsed_ms());
-    // Engine-level errors abort the run: benchmark processes are expected
-    // to handle their data errors internally (P10 validation branches).
+    worker_free_[worker] = end;
+    clock_.AdvanceTo(end);
+    // Engine-level errors abort the run unless the policy dead-letters
+    // them: benchmark processes are expected to handle their data errors
+    // internally (P10 validation branches), but with recovery enabled an
+    // exhausted instance is parked and the period carries on without it.
     if (!st.ok()) {
+      if (dead_letter) {
+        obs_.Count("engine.dead_letters");
+        continue;
+      }
       return st.WithContext("instance of " + def.id);
     }
   }

@@ -11,6 +11,7 @@
 #include "src/common/clock.h"
 #include "src/core/cost.h"
 #include "src/core/process.h"
+#include "src/core/retry.h"
 #include "src/net/endpoint.h"
 #include "src/storage/database.h"
 
@@ -40,6 +41,15 @@ struct InstanceRecord {
   QualityCounters quality;
   bool ok = true;
   std::string error;
+  /// Execution attempts this instance consumed (1 = first try succeeded or
+  /// the engine runs without a retry policy).
+  int attempts = 1;
+  /// Virtual time spent in retry backoff between attempts.
+  double retry_wait_ms = 0.0;
+  /// The instance exhausted its retry budget (or failed non-retryably)
+  /// under a dead-lettering policy: it is parked here — marked failed,
+  /// costs of every attempt charged — and the period went on without it.
+  bool dead_lettered = false;
   /// Per-operator drill-down (only when the engine's tracing is enabled).
   /// Composite operators (SWITCH/FORK/VALIDATE/SUBPROCESS) report inclusive
   /// costs; their nested operators appear before them in the list.
@@ -80,6 +90,10 @@ class IntegrationSystem {
   /// Resets clock + records but keeps deployed process types (start of a
   /// fresh benchmark run).
   virtual void Reset() = 0;
+
+  /// Installs the failure-recovery policy. The default (no-op) keeps the
+  /// legacy semantics: one attempt, first failure aborts the run.
+  virtual void SetRetryPolicy(const RetryPolicy&) {}
 };
 
 /// Shared DES machinery: event queue, worker slots, cost bookkeeping.
@@ -100,6 +114,11 @@ class EngineBase : public IntegrationSystem {
   }
   void ClearRecords() override { records_.clear(); }
   void Reset() override;
+
+  void SetRetryPolicy(const RetryPolicy& policy) override {
+    retry_policy_ = policy;
+  }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
 
   const CostWeights& weights() const { return weights_; }
   int worker_slots() const { return static_cast<int>(worker_free_.size()); }
@@ -169,6 +188,7 @@ class EngineBase : public IntegrationSystem {
   bool plan_cache_enabled_ = false;
   bool tracing_enabled_ = false;
   std::set<std::string> cached_plans_;
+  RetryPolicy retry_policy_;
   obs::ObsContext obs_;
 };
 

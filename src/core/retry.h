@@ -1,0 +1,62 @@
+#ifndef DIPBENCH_CORE_RETRY_H_
+#define DIPBENCH_CORE_RETRY_H_
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+
+namespace dipbench {
+namespace core {
+
+/// Recovery behaviour of the engine when a process instance fails.
+///
+/// The default policy is the pre-recovery engine: one attempt, no backoff,
+/// and a failed instance aborts the run — byte-identical behaviour for
+/// every existing configuration. Enabling it makes the engine retry
+/// retryable failures (injected faults, unavailable endpoints, timeouts)
+/// with exponential backoff in virtual time and, when the budget is
+/// exhausted, park the instance in a dead-letter record (marked failed,
+/// all attempted work still charged) instead of poisoning the period.
+struct RetryPolicy {
+  /// Total attempts per instance (1 = no retries).
+  int max_attempts = 1;
+
+  /// Backoff before retry k (k >= 1) is backoff_base_ms * factor^(k-1),
+  /// charged as virtual waiting time on the instance's worker slot.
+  double backoff_base_ms = 0.0;
+  double backoff_factor = 2.0;
+
+  /// Per-instance budget in virtual ms across attempts and backoffs; once
+  /// spent, no further attempt starts (the instance fails with Timeout).
+  /// 0 disables the budget.
+  double instance_timeout_ms = 0.0;
+
+  /// With dead-lettering on, an instance whose budget is exhausted (or
+  /// that failed non-retryably) lands in a failed record and the engine
+  /// keeps draining the queue; off, the first unrecovered failure aborts
+  /// the run (legacy behaviour).
+  bool dead_letter = false;
+
+  bool enabled() const { return max_attempts > 1 || dead_letter; }
+
+  /// Backoff in virtual ms before retry `retry_index` (1-based).
+  double BackoffMs(int retry_index) const {
+    if (backoff_base_ms <= 0.0) return 0.0;
+    double ms = backoff_base_ms;
+    for (int i = 1; i < retry_index; ++i) ms *= backoff_factor;
+    return ms;
+  }
+
+  /// Transient failures worth retrying: unavailable endpoints (injected
+  /// faults use this code) and timeouts. Data and logic errors (validation,
+  /// type mismatch, not-found, ...) retry the same way every time and go
+  /// straight to the dead letter.
+  static bool IsRetryable(const Status& s) {
+    return s.code() == StatusCode::kUnavailable ||
+           s.code() == StatusCode::kTimeout;
+  }
+};
+
+}  // namespace core
+}  // namespace dipbench
+
+#endif  // DIPBENCH_CORE_RETRY_H_

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "src/core/retry.h"
 #include "src/dipbench/processes.h"
+#include "src/net/fault.h"
 #include "src/dipbench/schedule.h"
 
 namespace dipbench {
@@ -166,6 +168,22 @@ Result<BenchmarkResult> Client::Run() {
   DIP_RETURN_NOT_OK(DeployProcesses());
   engine_->Reset();
 
+  // Fault injection + recovery. With the default config both calls are
+  // no-ops: InstallFaults removes any injectors, the retry policy is the
+  // legacy one-attempt/abort — the run stays byte-identical.
+  net::FaultPlan faults = net::FaultPlan::Uniform(config_.fault_rate);
+  faults.defaults.spike_rate = config_.fault_spike_rate;
+  faults.defaults.spike_ms = config_.TuToMs(config_.fault_spike_tu);
+  scenario_->network()->InstallFaults(faults, config_.seed);
+
+  core::RetryPolicy retry;
+  retry.max_attempts = config_.retry_max_attempts;
+  retry.backoff_base_ms = config_.TuToMs(config_.retry_backoff_tu);
+  retry.backoff_factor = config_.retry_backoff_factor;
+  retry.instance_timeout_ms = config_.TuToMs(config_.instance_timeout_tu);
+  retry.dead_letter = config_.retry_dead_letter;
+  engine_->SetRetryPolicy(retry);
+
   // --- work phase ---
   for (int k = 0; k < config_.periods; ++k) {
     DIP_RETURN_NOT_OK(RunPeriod(k).WithContext(
@@ -179,6 +197,10 @@ Result<BenchmarkResult> Client::Run() {
   result.config = config_;
   result.engine_name = engine_->name();
   result.per_process = monitor.Summarize();
+  for (const auto& r : engine_->records()) {
+    if (r.attempts > 1) result.retries += static_cast<uint64_t>(r.attempts - 1);
+    if (r.dead_lettered) ++result.dead_letters;
+  }
   DIP_ASSIGN_OR_RETURN(result.verification, VerifyIntegration(scenario_));
   result.virtual_ms = engine_->Now();
   result.wall_ms = watch.ElapsedMillis();

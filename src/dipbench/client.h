@@ -23,6 +23,10 @@ struct BenchmarkResult {
   double virtual_ms = 0.0;  ///< final engine virtual time
   double wall_ms = 0.0;     ///< real elapsed time of the run
 
+  /// Recovery summary (all zero when faults/retries are off).
+  uint64_t retries = 0;       ///< extra attempts across all instances
+  uint64_t dead_letters = 0;  ///< instances parked by the retry policy
+
   /// The Fig. 10/11-style plot.
   std::string RenderPlot() const;
   /// NAVG+ of one process type (0 when the type never ran).

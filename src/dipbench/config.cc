@@ -5,10 +5,23 @@
 namespace dipbench {
 
 std::string ScaleConfig::ToString() const {
-  return StrFormat(
-      "ScaleConfig{d=%.3f, t=%.2f, f=%s, periods=%d, seed=%llu, workers=%d}",
+  std::string out = StrFormat(
+      "ScaleConfig{d=%.3f, t=%.2f, f=%s, periods=%d, seed=%llu, workers=%d",
       datasize, time_scale, DistributionToString(distribution), periods,
       static_cast<unsigned long long>(seed), worker_slots);
+  // Fault/recovery knobs appear only when switched on, so the rendering of
+  // every pre-existing configuration stays unchanged.
+  if (fault_rate > 0.0 || fault_spike_rate > 0.0) {
+    out += StrFormat(", q=%.3f, spike=%.3f@%.1ftu", fault_rate,
+                     fault_spike_rate, fault_spike_tu);
+  }
+  if (retry_max_attempts > 1 || retry_dead_letter) {
+    out += StrFormat(", retries=%d, backoff=%.1ftu, dead_letter=%s",
+                     retry_max_attempts, retry_backoff_tu,
+                     retry_dead_letter ? "on" : "off");
+  }
+  out += "}";
+  return out;
 }
 
 }  // namespace dipbench

@@ -39,6 +39,31 @@ struct ScaleConfig {
   /// Worker slots of the system under test.
   int worker_slots = 4;
 
+  /// --- Fault injection & recovery (src/net/fault.h, src/core/retry.h).
+  /// Defaults keep everything off: a run with fault_rate 0 is byte-
+  /// identical to one built before this layer existed.
+
+  /// Probability q that one endpoint call fails with a retryable
+  /// Unavailable error before the external system does any work.
+  double fault_rate = 0.0;
+  /// Probability that one endpoint call pays an extra latency spike of
+  /// fault_spike_tu (call still succeeds; spike lands in Cc).
+  double fault_spike_rate = 0.0;
+  double fault_spike_tu = 0.0;
+
+  /// Recovery: total attempts per process instance (1 = no retries), with
+  /// exponential backoff retry_backoff_tu * factor^(k-1) before retry k,
+  /// all in virtual time.
+  int retry_max_attempts = 1;
+  double retry_backoff_tu = 0.0;
+  double retry_backoff_factor = 2.0;
+  /// Per-instance virtual-time budget across attempts + backoffs (0 = no
+  /// budget).
+  double instance_timeout_tu = 0.0;
+  /// Exhausted instances land in a dead-letter record (failed, costs
+  /// charged) instead of aborting the period.
+  bool retry_dead_letter = false;
+
   /// Converts schedule time units to virtual milliseconds: 1 tu = 1/t ms.
   VirtualTime TuToMs(double tu) const { return tu / time_scale; }
   /// Converts virtual milliseconds back to tu for metric reporting.

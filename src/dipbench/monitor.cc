@@ -13,6 +13,77 @@ void Monitor::Collect(const std::vector<core::InstanceRecord>& records) {
   records_.insert(records_.end(), records.begin(), records.end());
 }
 
+std::vector<double> Monitor::OverlapTotals(
+    const std::vector<core::InstanceRecord>& records) {
+  // Sweep line over the sorted start/end events. Let active(t) be the
+  // number of records covering virtual time t and A(t) its running
+  // integral. The total intersection of record i with ALL records
+  // (itself included) is the active-time integral over its own interval,
+  // so result[i] = A(e_i) - A(s_i) - duration_i.  O(n log n) against the
+  // former O(n²) pairwise loop — same value, record for record.
+  std::vector<double> out(records.size(), 0.0);
+  std::vector<double> times;
+  times.reserve(records.size() * 2);
+  for (const auto& r : records) {
+    if (r.end_time > r.start_time) {
+      times.push_back(r.start_time);
+      times.push_back(r.end_time);
+    }
+  }
+  if (times.empty()) return out;
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+
+  // active delta at each event time (+1 per start, -1 per end).
+  std::vector<int> delta(times.size(), 0);
+  auto index_of = [&times](double t) {
+    return static_cast<size_t>(
+        std::lower_bound(times.begin(), times.end(), t) - times.begin());
+  };
+  for (const auto& r : records) {
+    if (r.end_time <= r.start_time) continue;
+    ++delta[index_of(r.start_time)];
+    --delta[index_of(r.end_time)];
+  }
+
+  // A[k] = integral of active(t) from times[0] to times[k].
+  std::vector<double> integral(times.size(), 0.0);
+  int active = 0;
+  for (size_t k = 0; k + 1 < times.size(); ++k) {
+    active += delta[k];
+    integral[k + 1] = integral[k] +
+                      static_cast<double>(active) * (times[k + 1] - times[k]);
+  }
+
+  for (size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    double duration = r.end_time - r.start_time;
+    if (duration <= 0) continue;
+    // The integral difference accumulates over many small segments and can
+    // round a hair below the record's own duration — clamp: a total overlap
+    // is never negative.
+    out[i] = std::max(0.0, integral[index_of(r.end_time)] -
+                              integral[index_of(r.start_time)] - duration);
+  }
+  return out;
+}
+
+std::vector<double> Monitor::OverlapTotalsNaive(
+    const std::vector<core::InstanceRecord>& records) {
+  std::vector<double> out(records.size(), 0.0);
+  for (size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    if (r.end_time <= r.start_time) continue;
+    for (const auto& other : records) {
+      if (&other == &r) continue;
+      double lo = std::max(r.start_time, other.start_time);
+      double hi = std::min(r.end_time, other.end_time);
+      if (hi > lo) out[i] += hi - lo;
+    }
+  }
+  return out;
+}
+
 std::vector<ProcessMetrics> Monitor::Summarize() const {
   // Group record indexes per process type.
   std::map<std::string, std::vector<size_t>> by_type;
@@ -20,48 +91,67 @@ std::vector<ProcessMetrics> Monitor::Summarize() const {
     by_type[records_[i].process_id].push_back(i);
   }
 
+  // Overlap-weighted concurrency during [start, end), via one sweep over
+  // all records instead of a pairwise loop per record.
+  std::vector<double> overlap = OverlapTotals(records_);
+
   std::vector<ProcessMetrics> out;
   for (const auto& [id, idxs] : by_type) {
     ProcessMetrics m;
     m.process_id = id;
     m.instances = static_cast<int>(idxs.size());
 
-    double sum = 0.0, sumsq = 0.0;
+    double sum = 0.0;
     double sum_cc = 0, sum_cm = 0, sum_cp = 0, sum_wait = 0;
     double sum_conc = 0;
+    // Welford's one-pass mean/M2 for the variance: numerically stable
+    // where the former sumsq/n - mean² cancels catastrophically once
+    // costs are large relative to their spread.
+    double wmean = 0.0, wm2 = 0.0;
+    int wn = 0;
+    std::vector<double> ncs;
+    ncs.reserve(idxs.size());
     for (size_t i : idxs) {
       const core::InstanceRecord& r = records_[i];
       if (!r.ok) ++m.errors;
       double nc = config_.MsToTu(r.costs.Total());
       sum += nc;
-      sumsq += nc * nc;
+      ncs.push_back(nc);
+      ++wn;
+      double d = nc - wmean;
+      wmean += d / static_cast<double>(wn);
+      wm2 += d * (nc - wmean);
       sum_cc += config_.MsToTu(r.costs.cc_ms);
       sum_cm += config_.MsToTu(r.costs.cm_ms);
       sum_cp += config_.MsToTu(r.costs.cp_ms);
       sum_wait += config_.MsToTu(r.wait_ms);
       m.quality.Add(r.quality);
 
-      // Sweep-line-ish concurrency: overlap-weighted average instance count
-      // during [start, end).
       double duration = r.end_time - r.start_time;
       if (duration > 0) {
-        double overlap_total = 0.0;
-        for (const core::InstanceRecord& other : records_) {
-          if (&other == &r) continue;
-          double lo = std::max(r.start_time, other.start_time);
-          double hi = std::min(r.end_time, other.end_time);
-          if (hi > lo) overlap_total += hi - lo;
-        }
-        sum_conc += 1.0 + overlap_total / duration;
+        sum_conc += 1.0 + overlap[i] / duration;
       } else {
         sum_conc += 1.0;
       }
     }
     double n = static_cast<double>(m.instances);
     m.navg_tu = sum / n;
-    double var = std::max(0.0, sumsq / n - m.navg_tu * m.navg_tu);
-    m.stddev_tu = std::sqrt(var);
-    m.navg_plus_tu = m.navg_tu + m.stddev_tu;
+    m.stddev_tu = std::sqrt(wm2 / n);
+    // sigma+ (the paper's positive standard deviation): RMS deviation of
+    // the above-average instances only, so below-average outliers cannot
+    // shrink NAVG+ under NAVG. Needs the final mean first — an inherent
+    // second pass over the per-instance costs.
+    double m2_plus = 0.0;
+    int n_plus = 0;
+    for (double nc : ncs) {
+      if (nc > m.navg_tu) {
+        m2_plus += (nc - m.navg_tu) * (nc - m.navg_tu);
+        ++n_plus;
+      }
+    }
+    m.sigma_plus_tu =
+        n_plus > 0 ? std::sqrt(m2_plus / static_cast<double>(n_plus)) : 0.0;
+    m.navg_plus_tu = m.navg_tu + m.sigma_plus_tu;
     m.avg_cc_tu = sum_cc / n;
     m.avg_cm_tu = sum_cm / n;
     m.avg_cp_tu = sum_cp / n;
@@ -117,6 +207,8 @@ std::string Monitor::ToCsv(const std::vector<ProcessMetrics>& metrics) {
        [](const ProcessMetrics& m) { return std::to_string(m.errors); }},
       {"navg_tu", [&](const ProcessMetrics& m) { return f3(m.navg_tu); }},
       {"stddev_tu", [&](const ProcessMetrics& m) { return f3(m.stddev_tu); }},
+      {"sigma_plus_tu",
+       [&](const ProcessMetrics& m) { return f3(m.sigma_plus_tu); }},
       {"navg_plus_tu",
        [&](const ProcessMetrics& m) { return f3(m.navg_plus_tu); }},
       {"cc_tu", [&](const ProcessMetrics& m) { return f3(m.avg_cc_tu); }},

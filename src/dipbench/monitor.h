@@ -19,8 +19,14 @@ struct ProcessMetrics {
 
   /// NAVG(p): average normalized cost per instance, in tu.
   double navg_tu = 0.0;
-  /// sigma+: positive standard deviation across instances, in tu.
+  /// Full standard deviation across instances, in tu (reference column —
+  /// the paper's metric uses sigma+, below).
   double stddev_tu = 0.0;
+  /// sigma+: the positive standard deviation — RMS deviation of the
+  /// above-average instances only. The paper adds it to NAVG so that only
+  /// slower-than-average outliers penalize the score; instances that beat
+  /// the average must not *reduce* NAVG+ below NAVG.
+  double sigma_plus_tu = 0.0;
   /// NAVG+(p) = NAVG + sigma+ — the paper's metric unit.
   double navg_plus_tu = 0.0;
 
@@ -99,6 +105,16 @@ class Monitor {
   /// decreasing P01 volume across k, paper Fig. 8 left).
   std::vector<PeriodPoint> SummarizeByPeriod(
       const std::string& process_id) const;
+
+  /// Per-record total overlap with every other record, in virtual ms:
+  /// result[i] = sum over j != i of |[s_i, e_i) ∩ [s_j, e_j)|. Sweep-line
+  /// over the sorted start/end events, O(n log n).
+  static std::vector<double> OverlapTotals(
+      const std::vector<core::InstanceRecord>& records);
+  /// The O(n²) pairwise-intersection reference implementation. Kept for
+  /// the bench/test assertion that the sweep line matches it exactly.
+  static std::vector<double> OverlapTotalsNaive(
+      const std::vector<core::InstanceRecord>& records);
 
  private:
   ScaleConfig config_;

@@ -48,9 +48,47 @@ void Endpoint::Charge(size_t request_bytes, size_t response_bytes,
   stats->Add(s);
 }
 
+Status Endpoint::MaybeInjectFault(NetStats* stats) {
+  if (fault_injector_ == nullptr) return Status::OK();
+  return fault_injector_->OnCall(stats, obs_);
+}
+
 Result<RowSet> Endpoint::Query(const std::string& op,
                                const std::vector<Value>& params,
                                NetStats* stats) {
+  DIP_RETURN_NOT_OK(MaybeInjectFault(stats));
+  return DoQuery(op, params, stats);
+}
+
+Result<xml::NodePtr> Endpoint::QueryXml(const std::string& op,
+                                        const std::vector<Value>& params,
+                                        NetStats* stats) {
+  DIP_RETURN_NOT_OK(MaybeInjectFault(stats));
+  return DoQueryXml(op, params, stats);
+}
+
+Result<size_t> Endpoint::Update(const std::string& op, const RowSet& rows,
+                                NetStats* stats) {
+  DIP_RETURN_NOT_OK(MaybeInjectFault(stats));
+  return DoUpdate(op, rows, stats);
+}
+
+Status Endpoint::SendMessage(const std::string& queue_table,
+                             const xml::Node& message, NetStats* stats) {
+  DIP_RETURN_NOT_OK(MaybeInjectFault(stats));
+  return DoSendMessage(queue_table, message, stats);
+}
+
+Status Endpoint::CallProcedure(const std::string& proc,
+                               const std::vector<Value>& args,
+                               NetStats* stats) {
+  DIP_RETURN_NOT_OK(MaybeInjectFault(stats));
+  return DoCallProcedure(proc, args, stats);
+}
+
+Result<RowSet> Endpoint::DoQuery(const std::string& op,
+                                 const std::vector<Value>& params,
+                                 NetStats* stats) {
   auto it = queries_.find(op);
   if (it == queries_.end()) {
     return Status::NotFound("no query op " + op + " on " + name_);
@@ -63,15 +101,17 @@ Result<RowSet> Endpoint::Query(const std::string& op,
   return rows;
 }
 
-Result<xml::NodePtr> Endpoint::QueryXml(const std::string& op,
-                                        const std::vector<Value>& params,
-                                        NetStats* stats) {
-  DIP_ASSIGN_OR_RETURN(RowSet rows, Query(op, params, stats));
+Result<xml::NodePtr> Endpoint::DoQueryXml(const std::string& op,
+                                          const std::vector<Value>& params,
+                                          NetStats* stats) {
+  // Dispatches to DoQuery directly: the fault gate already ran in the
+  // public QueryXml, and one endpoint call is exactly one fault draw.
+  DIP_ASSIGN_OR_RETURN(RowSet rows, DoQuery(op, params, stats));
   return xml::RowSetToXml(rows, "resultset", "row");
 }
 
-Result<size_t> Endpoint::Update(const std::string& op, const RowSet& rows,
-                                NetStats* stats) {
+Result<size_t> Endpoint::DoUpdate(const std::string& op, const RowSet& rows,
+                                  NetStats* stats) {
   auto it = updates_.find(op);
   if (it == updates_.end()) {
     return Status::NotFound("no update op " + op + " on " + name_);
@@ -83,8 +123,8 @@ Result<size_t> Endpoint::Update(const std::string& op, const RowSet& rows,
   return written;
 }
 
-Status Endpoint::SendMessage(const std::string& queue_table,
-                             const xml::Node& message, NetStats* stats) {
+Status Endpoint::DoSendMessage(const std::string& queue_table,
+                               const xml::Node& message, NetStats* stats) {
   std::string text = xml::WriteXml(message);
   int64_t tid = db_->NextSequenceValue(queue_table + "_seq");
   Row row{Value::Int(tid), Value::String(text)};
@@ -92,9 +132,9 @@ Status Endpoint::SendMessage(const std::string& queue_table,
   return db_->InsertWithTriggers(queue_table, std::move(row));
 }
 
-Status Endpoint::CallProcedure(const std::string& proc,
-                               const std::vector<Value>& args,
-                               NetStats* stats) {
+Status Endpoint::DoCallProcedure(const std::string& proc,
+                                 const std::vector<Value>& args,
+                                 NetStats* stats) {
   uint64_t before = db_->TotalRowsRead() + db_->TotalRowsWritten();
   DIP_RETURN_NOT_OK(db_->CallProcedure(proc, args));
   uint64_t touched = db_->TotalRowsRead() + db_->TotalRowsWritten() - before;
@@ -108,7 +148,7 @@ WebServiceEndpoint::WebServiceEndpoint(std::string name, Database* db,
     : Endpoint(std::move(name), db, channel, per_row_ms),
       per_node_ms_(per_node_ms) {}
 
-Result<xml::NodePtr> WebServiceEndpoint::QueryXml(
+Result<xml::NodePtr> WebServiceEndpoint::DoQueryXml(
     const std::string& op, const std::vector<Value>& params, NetStats* stats) {
   auto it = queries_.find(op);
   if (it == queries_.end()) {
@@ -129,9 +169,9 @@ Result<xml::NodePtr> WebServiceEndpoint::QueryXml(
   return reparsed;
 }
 
-Result<RowSet> WebServiceEndpoint::Query(const std::string& op,
-                                         const std::vector<Value>& params,
-                                         NetStats* stats) {
+Result<RowSet> WebServiceEndpoint::DoQuery(const std::string& op,
+                                           const std::vector<Value>& params,
+                                           NetStats* stats) {
   auto it = queries_.find(op);
   if (it == queries_.end()) {
     return Status::NotFound("no query op " + op + " on " + name_);
@@ -152,9 +192,9 @@ Result<RowSet> WebServiceEndpoint::Query(const std::string& op,
   return back;
 }
 
-Result<size_t> WebServiceEndpoint::Update(const std::string& op,
-                                          const RowSet& rows,
-                                          NetStats* stats) {
+Result<size_t> WebServiceEndpoint::DoUpdate(const std::string& op,
+                                            const RowSet& rows,
+                                            NetStats* stats) {
   auto it = updates_.find(op);
   if (it == updates_.end()) {
     return Status::NotFound("no update op " + op + " on " + name_);
@@ -190,6 +230,36 @@ Result<Endpoint*> Network::Get(const std::string& name) {
     return Status::NotFound("no endpoint " + name);
   }
   return it->second.get();
+}
+
+namespace {
+
+/// Stable cross-platform string hash (FNV-1a) for per-endpoint seed
+/// derivation — std::hash is implementation-defined and would break the
+/// "same seed, same faults everywhere" guarantee.
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void Network::InstallFaults(const FaultPlan& plan, uint64_t seed) {
+  for (auto& [name, ep] : endpoints_) {
+    const FaultProfile& profile = plan.ProfileFor(name);
+    if (!plan.enabled() || !profile.enabled()) {
+      ep->SetFaultInjector(nullptr);
+      continue;
+    }
+    // Seed = f(master seed, endpoint name): independent streams that stay
+    // put when endpoints are added or removed.
+    ep->SetFaultInjector(std::make_unique<FaultInjector>(
+        profile, seed ^ Fnv1a(name), name));
+  }
 }
 
 std::vector<std::string> Network::ListEndpoints() const {

@@ -9,6 +9,7 @@
 
 #include "src/common/result.h"
 #include "src/net/channel.h"
+#include "src/net/fault.h"
 #include "src/ra/plan.h"
 #include "src/storage/database.h"
 #include "src/xml/node.h"
@@ -50,39 +51,70 @@ class Endpoint {
     channel_.SetObserver(obs);
   }
 
+  /// Installs (or clears, with nullptr) deterministic fault injection for
+  /// this endpoint. Every public operation first consults the injector:
+  /// an injected fault fails the call with Unavailable *before* the
+  /// operation body runs, so the external system performs no work and
+  /// changes no state — retrying a faulted call is always safe.
+  void SetFaultInjector(std::unique_ptr<FaultInjector> injector) {
+    fault_injector_ = std::move(injector);
+  }
+  FaultInjector* fault_injector() { return fault_injector_.get(); }
+
   /// Registers named operations.
   Status RegisterQuery(const std::string& op, QueryOp fn);
   Status RegisterUpdate(const std::string& op, UpdateOp fn);
 
+  /// The public operations are non-virtual: they run the fault-injection
+  /// gate and then dispatch to the protected Do* implementations that
+  /// subclasses override (NVI), so every endpoint flavour shares one fault
+  /// model without re-implementing it.
+
   /// Executes a query operation; stats (when non-null) accumulate the
   /// communication + external processing cost.
-  virtual Result<RowSet> Query(const std::string& op,
-                               const std::vector<Value>& params,
-                               NetStats* stats);
+  Result<RowSet> Query(const std::string& op, const std::vector<Value>& params,
+                       NetStats* stats);
 
   /// Executes a query operation and returns the generic XML result-set
   /// document (region-Asia extraction path: the caller translates it with
   /// STX before loading).
-  virtual Result<xml::NodePtr> QueryXml(const std::string& op,
-                                        const std::vector<Value>& params,
-                                        NetStats* stats);
+  Result<xml::NodePtr> QueryXml(const std::string& op,
+                                const std::vector<Value>& params,
+                                NetStats* stats);
 
   /// Executes an update operation with a rows payload.
-  virtual Result<size_t> Update(const std::string& op, const RowSet& rows,
-                                NetStats* stats);
+  Result<size_t> Update(const std::string& op, const RowSet& rows,
+                        NetStats* stats);
 
   /// Sends an XML business message to the endpoint, landing it in the named
   /// queue table via Database::InsertWithTriggers (message-stream event
   /// realization, paper Fig. 9a). The message text is stored as a string
   /// column alongside a sequence id.
-  virtual Status SendMessage(const std::string& queue_table,
-                             const xml::Node& message, NetStats* stats);
+  Status SendMessage(const std::string& queue_table, const xml::Node& message,
+                     NetStats* stats);
 
   /// Calls a stored procedure on the backing database.
-  virtual Status CallProcedure(const std::string& proc,
-                               const std::vector<Value>& args, NetStats* stats);
+  Status CallProcedure(const std::string& proc, const std::vector<Value>& args,
+                       NetStats* stats);
 
  protected:
+  virtual Result<RowSet> DoQuery(const std::string& op,
+                                 const std::vector<Value>& params,
+                                 NetStats* stats);
+  virtual Result<xml::NodePtr> DoQueryXml(const std::string& op,
+                                          const std::vector<Value>& params,
+                                          NetStats* stats);
+  virtual Result<size_t> DoUpdate(const std::string& op, const RowSet& rows,
+                                  NetStats* stats);
+  virtual Status DoSendMessage(const std::string& queue_table,
+                               const xml::Node& message, NetStats* stats);
+  virtual Status DoCallProcedure(const std::string& proc,
+                                 const std::vector<Value>& args,
+                                 NetStats* stats);
+
+  /// The fault gate every public operation passes through.
+  Status MaybeInjectFault(NetStats* stats);
+
   /// Charges a round trip plus external per-row processing to `stats`.
   void Charge(size_t request_bytes, size_t response_bytes, uint64_t rows,
               NetStats* stats);
@@ -92,6 +124,7 @@ class Endpoint {
   Channel channel_;
   double per_row_ms_;
   obs::ObsContext obs_;
+  std::unique_ptr<FaultInjector> fault_injector_;
   std::map<std::string, QueryOp> queries_;
   std::map<std::string, UpdateOp> updates_;
 };
@@ -110,13 +143,15 @@ class WebServiceEndpoint : public Endpoint {
   WebServiceEndpoint(std::string name, Database* db, Channel channel,
                      double per_row_ms, double per_node_ms);
 
-  Result<RowSet> Query(const std::string& op, const std::vector<Value>& params,
-                       NetStats* stats) override;
-  Result<xml::NodePtr> QueryXml(const std::string& op,
-                                const std::vector<Value>& params,
-                                NetStats* stats) override;
-  Result<size_t> Update(const std::string& op, const RowSet& rows,
-                        NetStats* stats) override;
+ protected:
+  Result<RowSet> DoQuery(const std::string& op,
+                         const std::vector<Value>& params,
+                         NetStats* stats) override;
+  Result<xml::NodePtr> DoQueryXml(const std::string& op,
+                                  const std::vector<Value>& params,
+                                  NetStats* stats) override;
+  Result<size_t> DoUpdate(const std::string& op, const RowSet& rows,
+                          NetStats* stats) override;
 
  private:
   double per_node_ms_;
@@ -141,6 +176,13 @@ class Network {
     obs_ = obs;
     for (auto& [name, ep] : endpoints_) ep->SetObserver(obs);
   }
+
+  /// Installs the fault plan on every registered endpoint. Each endpoint
+  /// gets an independent PRNG stream forked deterministically from `seed`
+  /// in endpoint-name order, so adding an endpoint does not reshuffle the
+  /// fault schedule of the others. A disabled plan uninstalls all
+  /// injectors; with it the run is byte-identical to a never-faulted one.
+  void InstallFaults(const FaultPlan& plan, uint64_t seed);
 
  private:
   std::map<std::string, std::unique_ptr<Endpoint>> endpoints_;

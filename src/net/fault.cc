@@ -1,0 +1,48 @@
+#include "src/net/fault.h"
+
+#include "src/common/string_util.h"
+
+namespace dipbench {
+namespace net {
+
+Status FaultInjector::OnCall(NetStats* stats, const obs::ObsContext& obs) {
+  uint64_t call = calls_++;
+
+  bool fail = false;
+  const char* kind = "";
+  if (profile_.outage_calls > 0 && call >= profile_.outage_after_calls &&
+      call < profile_.outage_after_calls + profile_.outage_calls) {
+    fail = true;
+    kind = "outage";
+  } else if (profile_.error_rate > 0.0 &&
+             rng_.NextDouble() < profile_.error_rate) {
+    fail = true;
+    kind = "error";
+  }
+  if (fail) {
+    ++faults_;
+    obs.Count("engine.faults_injected");
+    if (obs.metrics() != nullptr) {
+      obs.metrics()->GetCounter("endpoint." + endpoint_ + ".faults")
+          ->Increment();
+    }
+    return Status::Unavailable(StrFormat("injected %s fault on %s (call #%llu)",
+                                         kind, endpoint_.c_str(),
+                                         static_cast<unsigned long long>(call)));
+  }
+
+  if (profile_.spike_rate > 0.0 && profile_.spike_ms > 0.0 &&
+      rng_.NextDouble() < profile_.spike_rate) {
+    ++spikes_;
+    obs.Count("engine.latency_spikes");
+    if (stats != nullptr) {
+      NetStats spike;
+      spike.comm_ms = profile_.spike_ms;
+      stats->Add(spike);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace dipbench

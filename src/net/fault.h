@@ -1,0 +1,108 @@
+#ifndef DIPBENCH_NET_FAULT_H_
+#define DIPBENCH_NET_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/net/channel.h"
+#include "src/obs/obs.h"
+
+namespace dipbench {
+namespace net {
+
+/// Fault characteristics of one endpoint. All probabilities are per
+/// endpoint *call* (one Query/Update/SendMessage/CallProcedure counts as
+/// one call); all draws come from a seeded PRNG, so a faulty run is exactly
+/// as reproducible as a clean one.
+struct FaultProfile {
+  /// Probability that a call fails with an injected Unavailable error
+  /// before the operation body runs (connection refused: the external
+  /// system performs no work and changes no state).
+  double error_rate = 0.0;
+
+  /// Probability that a call pays an extra latency spike (the call still
+  /// succeeds; the spike is charged to the instance's communication cost).
+  double spike_rate = 0.0;
+  /// Extra communication cost of one spike, in virtual ms.
+  double spike_ms = 0.0;
+
+  /// Deterministic outage window: calls with 0-based index in
+  /// [outage_after_calls, outage_after_calls + outage_calls) fail
+  /// unconditionally. outage_calls == 0 disables the window.
+  uint64_t outage_after_calls = 0;
+  uint64_t outage_calls = 0;
+
+  bool enabled() const {
+    return error_rate > 0.0 || (spike_rate > 0.0 && spike_ms > 0.0) ||
+           outage_calls > 0;
+  }
+};
+
+/// The fault schedule of a whole scenario: a default profile plus optional
+/// per-endpoint overrides. A disabled plan installs nothing — the run stays
+/// byte-identical to one that never heard of faults.
+struct FaultPlan {
+  FaultProfile defaults;
+  std::map<std::string, FaultProfile> per_endpoint;
+
+  const FaultProfile& ProfileFor(const std::string& endpoint) const {
+    auto it = per_endpoint.find(endpoint);
+    return it == per_endpoint.end() ? defaults : it->second;
+  }
+
+  bool enabled() const {
+    if (defaults.enabled()) return true;
+    for (const auto& [name, p] : per_endpoint) {
+      if (p.enabled()) return true;
+    }
+    return false;
+  }
+
+  /// Every endpoint fails each call with probability q (the bench sweep's
+  /// fault rate).
+  static FaultPlan Uniform(double q) {
+    FaultPlan plan;
+    plan.defaults.error_rate = q;
+    return plan;
+  }
+};
+
+/// Per-endpoint fault state: counts calls, draws faults and spikes from its
+/// own forked PRNG stream. Owned by the Endpoint it is installed on.
+///
+/// Determinism note: a component that is disabled (rate 0) consumes no PRNG
+/// draws, so enabling e.g. latency spikes later does not reshuffle the
+/// error-rate stream of an existing configuration.
+class FaultInjector {
+ public:
+  FaultInjector(FaultProfile profile, uint64_t seed, std::string endpoint)
+      : profile_(profile), rng_(seed), endpoint_(std::move(endpoint)) {}
+
+  /// Consulted once at the start of every endpoint call, before the
+  /// operation body executes. Returns a retryable Unavailable status when a
+  /// fault fires; on a latency spike charges spike_ms into `stats` and
+  /// returns OK. `obs` feeds the engine.faults_injected / per-endpoint
+  /// fault counters (null-safe).
+  Status OnCall(NetStats* stats, const obs::ObsContext& obs);
+
+  const FaultProfile& profile() const { return profile_; }
+  uint64_t calls() const { return calls_; }
+  uint64_t faults_injected() const { return faults_; }
+  uint64_t spikes_injected() const { return spikes_; }
+
+ private:
+  FaultProfile profile_;
+  Rng rng_;
+  std::string endpoint_;
+  uint64_t calls_ = 0;
+  uint64_t faults_ = 0;
+  uint64_t spikes_ = 0;
+};
+
+}  // namespace net
+}  // namespace dipbench
+
+#endif  // DIPBENCH_NET_FAULT_H_

@@ -36,9 +36,20 @@ Status FileStore::SaveToDisk(const std::string& directory) const {
                             ec.message());
   }
   for (const auto& [name, content] : files_) {
-    std::ofstream out(directory + "/" + name, std::ios::trunc);
-    if (!out) return Status::Internal("cannot open " + name + " for write");
+    const std::string path = directory + "/" + name;
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return Status::Internal("cannot open " + path + " for write");
     out << content;
+    // A full disk or a write error leaves the stream in a fail state only
+    // after flush — check it, or a truncated export silently reports OK.
+    out.flush();
+    if (!out.good()) {
+      return Status::Internal("write failed for " + path);
+    }
+    out.close();
+    if (out.fail()) {
+      return Status::Internal("close failed for " + path);
+    }
   }
   return Status::OK();
 }
@@ -89,7 +100,7 @@ Status XmlFileEndpoint::RegisterFileUpdate(const std::string& op,
   return Status::OK();
 }
 
-Result<RowSet> XmlFileEndpoint::Query(const std::string& op,
+Result<RowSet> XmlFileEndpoint::DoQuery(const std::string& op,
                                       const std::vector<Value>& params,
                                       NetStats* stats) {
   (void)params;
@@ -109,7 +120,7 @@ Result<RowSet> XmlFileEndpoint::Query(const std::string& op,
   return rows;
 }
 
-Result<size_t> XmlFileEndpoint::Update(const std::string& op,
+Result<size_t> XmlFileEndpoint::DoUpdate(const std::string& op,
                                        const RowSet& rows, NetStats* stats) {
   auto it = file_updates_.find(op);
   if (it == file_updates_.end()) {
@@ -135,12 +146,12 @@ Result<size_t> XmlFileEndpoint::Update(const std::string& op,
   return rows.size();
 }
 
-Status XmlFileEndpoint::SendMessage(const std::string&, const xml::Node&,
+Status XmlFileEndpoint::DoSendMessage(const std::string&, const xml::Node&,
                                     NetStats*) {
   return Status::Unimplemented("flat-file systems accept no messages");
 }
 
-Status XmlFileEndpoint::CallProcedure(const std::string&,
+Status XmlFileEndpoint::DoCallProcedure(const std::string&,
                                       const std::vector<Value>&, NetStats*) {
   return Status::Unimplemented("flat-file systems have no procedures");
 }

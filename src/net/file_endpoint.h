@@ -60,17 +60,20 @@ class XmlFileEndpoint : public Endpoint {
                             std::string root_name, std::string row_name,
                             bool append = false);
 
-  Result<RowSet> Query(const std::string& op, const std::vector<Value>& params,
-                       NetStats* stats) override;
-  Result<size_t> Update(const std::string& op, const RowSet& rows,
-                        NetStats* stats) override;
+  FileStore* store() { return store_; }
+
+ protected:
+  Result<RowSet> DoQuery(const std::string& op,
+                         const std::vector<Value>& params,
+                         NetStats* stats) override;
+  Result<size_t> DoUpdate(const std::string& op, const RowSet& rows,
+                          NetStats* stats) override;
 
   /// Flat files expose no message queues or procedures.
-  Status SendMessage(const std::string&, const xml::Node&, NetStats*) override;
-  Status CallProcedure(const std::string&, const std::vector<Value>&,
+  Status DoSendMessage(const std::string&, const xml::Node&,
                        NetStats*) override;
-
-  FileStore* store() { return store_; }
+  Status DoCallProcedure(const std::string&, const std::vector<Value>&,
+                         NetStats*) override;
 
  private:
   struct FileQuery {
