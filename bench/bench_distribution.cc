@@ -3,63 +3,77 @@
 // (paper Section V). Skew concentrates the movement data's foreign keys on
 // hot customers/products, which changes duplicate-elimination volume and
 // the size distribution of the OrdersMV groups.
+//
+// The three f points run through the harness::RunnerPool: --jobs=N picks
+// the concurrency (default: hardware_concurrency; --jobs=1 is the legacy
+// serial loop, byte for byte).
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "src/dipbench/client.h"
+#include "src/harness/harness.h"
 
 using namespace dipbench;
 
 namespace {
 
-struct DistResult {
-  Distribution dist;
-  BenchmarkResult result;
-};
+std::string FlagValue(int argc, char** argv, const char* flag) {
+  size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return std::string(argv[i] + len + 1);
+    }
+  }
+  return "";
+}
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   int periods = 10;
   if (const char* p = std::getenv("DIPBENCH_PERIODS")) periods = std::atoi(p);
+  const std::string jobs_flag = FlagValue(argc, argv, "--jobs");
+  harness::RunnerPool pool(jobs_flag.empty() ? 0 : std::atoi(jobs_flag.c_str()));
 
-  std::vector<DistResult> runs;
+  std::vector<harness::RunSpec> specs;
   for (Distribution dist :
        {Distribution::kUniform, Distribution::kZipf, Distribution::kNormal}) {
-    ScaleConfig config;
-    config.datasize = 0.05;
-    config.periods = periods;
-    config.distribution = dist;
-    auto scenario_result = Scenario::Create();
-    if (!scenario_result.ok()) return 1;
-    auto scenario = std::move(scenario_result).ValueOrDie();
-    core::DataflowEngine engine(scenario->network());
-    Client client(scenario.get(), &engine, config);
-    auto result = client.Run();
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s: %s\n", DistributionToString(dist),
-                   result.status().ToString().c_str());
+    harness::RunSpec spec;
+    spec.engine = "dataflow";
+    spec.config.datasize = 0.05;
+    spec.config.periods = periods;
+    spec.config.distribution = dist;
+    specs.push_back(spec);
+  }
+  std::vector<harness::RunOutcome> outcomes = pool.Run(specs);
+  for (const auto& outcome : outcomes) {
+    if (!outcome.ok) {
+      std::fprintf(stderr, "%s: %s\n",
+                   DistributionToString(outcome.spec.config.distribution),
+                   outcome.error.c_str());
       return 1;
     }
-    runs.push_back({dist, std::move(result).ValueOrDie()});
   }
 
   std::printf("=== Distribution scale factor f: effect on consolidation "
-              "(d=0.05, %d periods) ===\n\n",
-              periods);
+              "(d=0.05, %d periods, %d jobs) ===\n\n",
+              periods, pool.jobs());
   std::printf("%-9s %12s %12s %12s %14s %12s\n", "f", "P03 NAVG+",
               "P09 NAVG+", "P13 NAVG+", "dups elim.", "MV rows");
-  for (const auto& run : runs) {
+  for (const auto& outcome : outcomes) {
+    const BenchmarkResult& result = outcome.result;
     uint64_t dups = 0;
-    for (const auto& m : run.result.per_process) {
+    for (const auto& m : result.per_process) {
       dups += m.quality.duplicates_eliminated;
     }
     std::printf("%-9s %12.1f %12.1f %12.1f %14llu %12zu\n",
-                DistributionToString(run.dist), run.result.NavgPlus("P03"),
-                run.result.NavgPlus("P09"), run.result.NavgPlus("P13"),
+                DistributionToString(outcome.spec.config.distribution),
+                result.NavgPlus("P03"), result.NavgPlus("P09"),
+                result.NavgPlus("P13"),
                 static_cast<unsigned long long>(dups),
-                run.result.verification.dwh_mv_rows);
+                result.verification.dwh_mv_rows);
   }
   std::printf(
       "\nSkewed draws concentrate the shared Beijing/Seoul order-key domain\n"

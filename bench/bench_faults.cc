@@ -6,7 +6,10 @@
 //
 // The sweep runs q in {0, 0.01, 0.05, 0.1} and reports NAVG+ degradation,
 // retry and dead-letter counts, and the verification outcome per point.
-// Three assertions gate the exit code:
+// All points (plus the plain baseline) go through the harness::RunnerPool:
+// --jobs=N picks the concurrency (default: hardware_concurrency; --jobs=1
+// is the legacy serial loop, byte for byte). Three assertions gate the
+// exit code:
 //  * q = 0 with the recovery machinery wired produces a Monitor CSV
 //    byte-identical to a plain run that never heard of faults;
 //  * the sweep-line concurrency matches the O(n²) reference loop;
@@ -25,6 +28,7 @@
 
 #include "src/common/string_util.h"
 #include "src/dipbench/client.h"
+#include "src/harness/harness.h"
 
 using namespace dipbench;
 
@@ -50,45 +54,30 @@ struct SweepPoint {
   std::string verification;
 };
 
-/// One full benchmark run on a fresh scenario + federated engine. Returns
-/// the Monitor CSV via `csv` and the engine's instance records via
-/// `records` (for the concurrency cross-check).
-SweepPoint RunOne(const ScaleConfig& config, std::string* csv,
-                  std::vector<core::InstanceRecord>* records) {
+/// Distills a pooled outcome into a sweep point. On a failed run the cost
+/// metrics of what DID run are still the degradation signal — summarize
+/// the kept instance records directly.
+SweepPoint ToSweepPoint(const harness::RunOutcome& outcome) {
   SweepPoint point;
-  point.q = config.fault_rate;
-  auto scenario_result = Scenario::Create();
-  if (!scenario_result.ok()) {
-    point.error = scenario_result.status().ToString();
-    return point;
-  }
-  auto scenario = std::move(scenario_result).ValueOrDie();
-  core::FederatedEngine engine(scenario->network());
-  Client client(scenario.get(), &engine, config);
-  auto result = client.Run();
-  if (records != nullptr) *records = engine.records();
-  for (const auto& r : engine.records()) {
+  point.q = outcome.spec.config.fault_rate;
+  for (const auto& r : outcome.records) {
     if (r.attempts > 1) point.retries += static_cast<uint64_t>(r.attempts - 1);
     if (r.dead_lettered) ++point.dead_letters;
   }
-  if (!result.ok()) {
-    // A failed verification (or an aborted period) surfaces here. The
-    // cost metrics of what DID run are still the degradation signal —
-    // summarize the engine records directly.
-    point.error = result.status().ToString();
-    Monitor monitor(config);
-    monitor.Collect(engine.records());
+  if (!outcome.ok) {
+    point.error = outcome.error;
+    Monitor monitor(outcome.spec.config);
+    monitor.Collect(outcome.records);
     for (const auto& m : monitor.Summarize()) {
       point.navg_plus_total += m.navg_plus_tu;
     }
     return point;
   }
   point.ran_ok = true;
-  point.verification = result->verification.ToString();
-  for (const auto& m : result->per_process) {
+  point.verification = outcome.result.verification.ToString();
+  for (const auto& m : outcome.result.per_process) {
     point.navg_plus_total += m.navg_plus_tu;
   }
-  if (csv != nullptr) *csv = Monitor::ToCsv(result->per_process);
   return point;
 }
 
@@ -104,41 +93,65 @@ int main(int argc, char** argv) {
     base.periods = std::atoi(p);
   }
   const std::string json_out = FlagValue(argc, argv, "--json-out");
+  const std::string jobs_flag = FlagValue(argc, argv, "--jobs");
+  harness::RunnerPool pool(jobs_flag.empty() ? 0 : std::atoi(jobs_flag.c_str()));
 
   std::printf("=== Fault-injection sweep, federated reference "
-              "implementation, %d periods ===\n\n", base.periods);
-
-  // Baseline: a plain run, recovery machinery not even configured.
-  std::string baseline_csv;
-  SweepPoint baseline = RunOne(base, &baseline_csv, nullptr);
-  if (!baseline.ran_ok) {
-    std::fprintf(stderr, "baseline run failed: %s\n", baseline.error.c_str());
-    return 1;
-  }
+              "implementation, %d periods, %d jobs ===\n\n",
+              base.periods, pool.jobs());
 
   ScaleConfig faulty = base;
   faulty.retry_backoff_tu = 1.0;
   faulty.retry_backoff_factor = 2.0;
   faulty.retry_dead_letter = true;
 
+  // Spec 0 is the plain baseline (recovery machinery not even configured);
+  // specs 1..4 are the q-sweep. One pool submission covers them all.
   const double kRates[] = {0.0, 0.01, 0.05, 0.1};
-  std::vector<SweepPoint> sweep;
-  std::string q0_csv;
-  std::vector<core::InstanceRecord> q05_records;
+  std::vector<harness::RunSpec> specs;
+  {
+    harness::RunSpec spec;
+    spec.config = base;
+    spec.label = "baseline (plain)";
+    specs.push_back(spec);
+  }
   for (double q : kRates) {
-    ScaleConfig config = faulty;
-    config.fault_rate = q;
+    harness::RunSpec spec;
+    spec.config = faulty;
+    spec.config.fault_rate = q;
     // Retry budget matched to the fault rate: a data-intensive instance
     // makes ~20 endpoint calls, so its per-attempt failure probability is
     // ~1-(1-q)^20 — at q = 0.1 that is ~0.88 and a fixed small budget
     // loses the serialized loads the verification depends on.
-    config.retry_max_attempts = q >= 0.1 ? 16 : 8;
-    std::string csv;
-    std::vector<core::InstanceRecord> records;
-    sweep.push_back(RunOne(config, &csv, &records));
-    if (q == 0.0) q0_csv = csv;
-    if (q == 0.05) q05_records = std::move(records);
+    spec.config.retry_max_attempts = q >= 0.1 ? 16 : 8;
+    spec.keep_records = true;  // retries/dead-letters + concurrency check
+    specs.push_back(spec);
   }
+
+  StopWatch pool_watch;
+  std::vector<harness::RunOutcome> outcomes = pool.Run(specs);
+  double pool_wall_ms = pool_watch.ElapsedMillis();
+
+  const harness::RunOutcome& baseline = outcomes[0];
+  if (!baseline.ok) {
+    std::fprintf(stderr, "baseline run failed: %s\n", baseline.error.c_str());
+    return 1;
+  }
+  std::vector<SweepPoint> sweep;
+  std::string q0_csv;
+  std::vector<core::InstanceRecord> q05_records;
+  for (size_t i = 1; i < outcomes.size(); ++i) {
+    sweep.push_back(ToSweepPoint(outcomes[i]));
+    if (outcomes[i].spec.config.fault_rate == 0.0) {
+      q0_csv = outcomes[i].monitor_csv;
+    }
+    if (outcomes[i].spec.config.fault_rate == 0.05) {
+      q05_records = outcomes[i].records;
+    }
+  }
+
+  std::printf("%s\n",
+              harness::RunnerPool::RenderReport(outcomes, pool_wall_ms).c_str());
 
   std::printf("%8s %12s %10s %14s %10s  %s\n", "q", "sum NAVG+", "retries",
               "dead_letters", "vs q=0", "verification");
@@ -162,9 +175,9 @@ int main(int argc, char** argv) {
   // Assertion 1: q = 0 with retries wired is byte-identical to the plain
   // baseline — disabled fault components consume no PRNG draws and an
   // instance that never fails never pays retry charges.
-  if (q0_csv == baseline_csv) {
+  if (q0_csv == baseline.monitor_csv) {
     std::printf("\nq=0 byte-identity vs plain run: OK (%zu bytes)\n",
-                baseline_csv.size());
+                baseline.monitor_csv.size());
   } else {
     std::printf("\nq=0 byte-identity vs plain run: VIOLATED\n");
     all_ok = false;

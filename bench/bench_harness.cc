@@ -1,0 +1,148 @@
+// Parallel-harness scaling sweep: the same fault-rate sweep (q in
+// {0, 0.01, 0.05, 0.1} on the federated engine) executed by the
+// harness::RunnerPool at jobs in {1, 2, 4, 8}. Reports wall-clock per
+// jobs level and the speedup over the serial pool; the exit code gates on
+// determinism, not speed: every jobs > 1 level must reproduce the jobs = 1
+// per-config Monitor CSVs byte for byte.
+//
+// DIPBENCH_PERIODS overrides the period count (default 10);
+// --json-out=<path> writes BENCH_harness.json for the CI artifact.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/string_util.h"
+#include "src/dipbench/client.h"
+#include "src/harness/harness.h"
+
+using namespace dipbench;
+
+namespace {
+
+std::string FlagValue(int argc, char** argv, const char* flag) {
+  size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return std::string(argv[i] + len + 1);
+    }
+  }
+  return "";
+}
+
+struct Level {
+  int jobs = 0;
+  double wall_ms = 0.0;
+  std::vector<harness::RunOutcome> outcomes;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int periods = 10;
+  if (const char* p = std::getenv("DIPBENCH_PERIODS")) periods = std::atoi(p);
+  const std::string json_out = FlagValue(argc, argv, "--json-out");
+
+  ScaleConfig base;
+  base.datasize = 0.05;
+  base.time_scale = 1.0;
+  base.distribution = Distribution::kUniform;
+  base.periods = periods;
+  base.retry_backoff_tu = 1.0;
+  base.retry_backoff_factor = 2.0;
+  base.retry_dead_letter = true;
+
+  std::vector<harness::RunSpec> specs;
+  for (double q : {0.0, 0.01, 0.05, 0.1}) {
+    harness::RunSpec spec;
+    spec.config = base;
+    spec.config.fault_rate = q;
+    spec.config.retry_max_attempts = q >= 0.1 ? 16 : 8;
+    specs.push_back(spec);
+  }
+
+  std::printf("=== Parallel harness scaling: %zu-config fault sweep, "
+              "%d periods ===\n\n", specs.size(), periods);
+
+  std::vector<Level> levels;
+  for (int jobs : {1, 2, 4, 8}) {
+    Level level;
+    level.jobs = jobs;
+    harness::RunnerPool pool(jobs);
+    StopWatch watch;
+    level.outcomes = pool.Run(specs);
+    level.wall_ms = watch.ElapsedMillis();
+    levels.push_back(std::move(level));
+  }
+
+  const Level& serial = levels.front();
+  for (const auto& outcome : serial.outcomes) {
+    if (!outcome.ok) {
+      std::fprintf(stderr, "jobs=1 run '%s' failed: %s\n",
+                   outcome.spec.DisplayLabel().c_str(), outcome.error.c_str());
+      return 1;
+    }
+  }
+
+  // The determinism gate: every config's Monitor CSV must be
+  // byte-identical to the serial pool's — parallelism may change only
+  // the wall-clock, never a single reported byte.
+  bool all_ok = true;
+  std::vector<size_t> level_mismatches(levels.size(), 0);
+  for (size_t l = 0; l < levels.size(); ++l) {
+    for (size_t i = 0; i < levels[l].outcomes.size(); ++i) {
+      if (!levels[l].outcomes[i].ok ||
+          levels[l].outcomes[i].monitor_csv != serial.outcomes[i].monitor_csv) {
+        ++level_mismatches[l];
+      }
+    }
+    if (level_mismatches[l] != 0) all_ok = false;
+  }
+
+  std::printf("%6s %12s %10s %16s\n", "jobs", "wall ms", "speedup",
+              "vs jobs=1 CSVs");
+  for (size_t l = 0; l < levels.size(); ++l) {
+    std::printf("%6d %12.0f %9.2fx %16s\n", levels[l].jobs, levels[l].wall_ms,
+                serial.wall_ms / levels[l].wall_ms,
+                level_mismatches[l] == 0
+                    ? "identical"
+                    : StrFormat("%zu MISMATCH", level_mismatches[l]).c_str());
+  }
+
+  std::printf("\n%s\n",
+              harness::RunnerPool::RenderReport(serial.outcomes, serial.wall_ms)
+                  .c_str());
+
+  if (!json_out.empty()) {
+    std::string json = "[\n";
+    for (size_t i = 0; i < levels.size(); ++i) {
+      const Level& level = levels[i];
+      json += StrFormat(
+          "  {\"jobs\": %d, \"wall_ms\": %.3f, \"speedup\": %.3f, "
+          "\"configs\": %zu, \"periods\": %d, \"identical\": %s}%s\n",
+          level.jobs, level.wall_ms, serial.wall_ms / level.wall_ms,
+          level.outcomes.size(), periods,
+          level_mismatches[i] == 0 ? "true" : "false",
+          i + 1 < levels.size() ? "," : "");
+    }
+    json += "]\n";
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote scaling sweep to %s\n", json_out.c_str());
+  }
+
+  if (!all_ok) {
+    std::printf("determinism gate: VIOLATED — parallel pool changed "
+                "reported bytes\n");
+    return 1;
+  }
+  std::printf("determinism gate: OK — all jobs levels byte-identical\n");
+  return 0;
+}

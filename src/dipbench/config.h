@@ -64,6 +64,12 @@ struct ScaleConfig {
   /// charged) instead of aborting the period.
   bool retry_dead_letter = false;
 
+  /// Threads used by the Initializer's per-period data generation. Every
+  /// seeding unit (one external database instance) draws from its own
+  /// deterministically forked PRNG stream, so the generated data is byte-
+  /// identical for ANY value — 1 keeps the fully serial legacy path.
+  int datagen_jobs = 1;
+
   /// Converts schedule time units to virtual milliseconds: 1 tu = 1/t ms.
   VirtualTime TuToMs(double tu) const { return tu / time_scale; }
   /// Converts virtual milliseconds back to tu for metric reporting.

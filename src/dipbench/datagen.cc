@@ -1,7 +1,10 @@
 #include "src/dipbench/datagen.h"
 
+#include <atomic>
 #include <cmath>
+#include <functional>
 #include <map>
+#include <thread>
 
 #include "src/common/string_util.h"
 #include "src/xml/bridge.h"
@@ -67,6 +70,38 @@ int64_t OrderDate(int period, int64_t seq) {
   return 20080000 + month * 100 + day;
 }
 
+/// Runs every seeding unit, inline for jobs <= 1 or on up to `jobs`
+/// threads. Units are independent by construction (disjoint databases,
+/// private PRNG streams), so the schedule cannot influence the data; the
+/// first non-OK status (in unit order, for determinism) is reported.
+Status RunSeedUnits(std::vector<std::function<Status()>>* units, int jobs) {
+  if (jobs <= 1) {
+    for (auto& unit : *units) {
+      DIP_RETURN_NOT_OK(unit());
+    }
+    return Status::OK();
+  }
+  std::vector<Status> results(units->size(), Status::OK());
+  std::atomic<size_t> next{0};
+  size_t n_threads = std::min(static_cast<size_t>(jobs), units->size());
+  std::vector<std::thread> threads;
+  threads.reserve(n_threads);
+  for (size_t t = 0; t < n_threads; ++t) {
+    threads.emplace_back([units, &results, &next] {
+      for (;;) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= units->size()) return;
+        results[i] = (*units)[i]();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const Status& st : results) {
+    DIP_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Initializer::Initializer(Scenario* scenario, const ScaleConfig& config)
@@ -103,13 +138,55 @@ Initializer::Sizes Initializer::SizesForConfig() const {
 
 Status Initializer::InitializePeriod(int period) {
   scenario_->UninitializeAll();
-  Rng rng(config_.seed + static_cast<uint64_t>(period) * 7919);
+
+  // One master stream per period; every seeding unit receives its own fork
+  // BEFORE any unit runs, in this fixed order. A unit's data therefore
+  // depends only on (seed, period, unit), never on which thread ran it or
+  // what ran beside it — serial and parallel initialization are
+  // byte-identical, including row order within each table.
+  Rng master(config_.seed + static_cast<uint64_t>(period) * 7919);
+  Rng cdb_rng = master.Fork();
+  Rng eu_bp_rng = master.Fork();
+  Rng eu_tr_rng = master.Fork();
+  Rng beijing_rng = master.Fork();
+  Rng seoul_rng = master.Fork();
+  Rng hongkong_rng = master.Fork();
+  Rng chicago_rng = master.Fork();
+  Rng baltimore_rng = master.Fork();
+  Rng madison_rng = master.Fork();
+
+  std::vector<std::function<Status()>> units;
+  units.push_back([this, cdb_rng]() mutable { return SeedCdb(&cdb_rng); });
+  units.push_back([this, period, eu_bp_rng]() mutable {
+    return SeedEuropeDb("eu_berlin_paris", period, &eu_bp_rng);
+  });
+  units.push_back([this, period, eu_tr_rng]() mutable {
+    return SeedEuropeDb("eu_trondheim", period, &eu_tr_rng);
+  });
+  units.push_back([this, period, beijing_rng]() mutable {
+    return SeedAsiaService("asia_beijing", 4, period, &beijing_rng);
+  });
+  units.push_back([this, period, seoul_rng]() mutable {
+    return SeedAsiaService("asia_seoul", 5, period, &seoul_rng);
+  });
+  units.push_back([this, period, hongkong_rng]() mutable {
+    return SeedAsiaService("asia_hongkong", 6, period, &hongkong_rng);
+  });
+  units.push_back([this, period, chicago_rng]() mutable {
+    return SeedAmericaSource("us_chicago", 7, period, &chicago_rng);
+  });
+  units.push_back([this, period, baltimore_rng]() mutable {
+    return SeedAmericaSource("us_baltimore", 8, period, &baltimore_rng);
+  });
+  units.push_back([this, period, madison_rng]() mutable {
+    return SeedAmericaSource("us_madison", 9, period, &madison_rng);
+  });
+  return RunSeedUnits(&units, config_.datagen_jobs);
+}
+
+Status Initializer::SeedCdb(Rng* rng) {
   DIP_RETURN_NOT_OK(SeedCdbReference());
-  DIP_RETURN_NOT_OK(SeedCdbMaster(&rng));
-  DIP_RETURN_NOT_OK(SeedEurope(period, &rng));
-  DIP_RETURN_NOT_OK(SeedAsia(period, &rng));
-  DIP_RETURN_NOT_OK(SeedAmerica(period, &rng));
-  return Status::OK();
+  return SeedCdbMaster(rng);
 }
 
 Status Initializer::SeedCdbReference() {
@@ -175,13 +252,13 @@ Status Initializer::SeedCdbMaster(Rng* rng) {
   return Status::OK();
 }
 
-Status Initializer::SeedEurope(int period, Rng* rng) {
-  DIP_ASSIGN_OR_RETURN(Database * bp, scenario_->db("eu_berlin_paris"));
-  DIP_ASSIGN_OR_RETURN(Database * tr, scenario_->db("eu_trondheim"));
+Status Initializer::SeedEuropeDb(const std::string& db_name, int period,
+                                 Rng* rng) {
+  DIP_ASSIGN_OR_RETURN(Database * db, scenario_->db(db_name));
   Sizes sizes = SizesForConfig();
 
   // Region-local master data: European customers (custkey % 3 == 0).
-  for (Database* db : {bp, tr}) {
+  {
     DIP_ASSIGN_OR_RETURN(Table * kunde, db->GetTable("kunde"));
     DIP_ASSIGN_OR_RETURN(Table * produkt, db->GetTable("produkt"));
     for (int64_t k = 3; k <= sizes.customers; k += 3) {
@@ -202,13 +279,19 @@ Status Initializer::SeedEurope(int period, Rng* rng) {
     }
   }
 
-  // Movement data per location. Berlin and Paris share one instance.
+  // Movement data per location hosted by this instance. Berlin and Paris
+  // share the eu_berlin_paris database (and its sampler streams);
+  // Trondheim's unit draws from its own fork.
   struct Loc {
-    Database* db;
     const char* location;
     int source_id;
   };
-  const Loc locs[] = {{bp, "berlin", 1}, {bp, "paris", 2}, {tr, "trondheim", 3}};
+  std::vector<Loc> locs;
+  if (db_name == "eu_berlin_paris") {
+    locs = {{"berlin", 1}, {"paris", 2}};
+  } else {
+    locs = {{"trondheim", 3}};
+  }
   int64_t eu_customer_count = sizes.customers / 3;
   DistributionSampler cust_sampler(config_.distribution,
                                    std::max<int64_t>(1, eu_customer_count),
@@ -216,8 +299,8 @@ Status Initializer::SeedEurope(int period, Rng* rng) {
   DistributionSampler prod_sampler(config_.distribution, sizes.products,
                                    rng->Next());
   for (const Loc& loc : locs) {
-    DIP_ASSIGN_OR_RETURN(Table * auftrag, loc.db->GetTable("auftrag"));
-    DIP_ASSIGN_OR_RETURN(Table * position, loc.db->GetTable("position"));
+    DIP_ASSIGN_OR_RETURN(Table * auftrag, db->GetTable("auftrag"));
+    DIP_ASSIGN_OR_RETURN(Table * position, db->GetTable("position"));
     int64_t volume = JitteredVolume(sizes.orders_per_eu, rng);
     for (int64_t i = 1; i <= volume; ++i) {
       int64_t anr = OrderKey(period, loc.source_id, i);
@@ -248,151 +331,142 @@ Status Initializer::SeedEurope(int period, Rng* rng) {
   return Status::OK();
 }
 
-Status Initializer::SeedAsia(int period, Rng* rng) {
+Status Initializer::SeedAsiaService(const std::string& service, int source_id,
+                                    int period, Rng* rng) {
   Sizes sizes = SizesForConfig();
   int64_t asia_customer_count = (sizes.customers + 1) / 3;
-  const char* services[] = {"asia_beijing", "asia_seoul", "asia_hongkong"};
-  int source_id = 4;
-  std::vector<Row> beijing_rows;
-  for (const char* svc : services) {
-    DIP_ASSIGN_OR_RETURN(Database * db, scenario_->db(svc));
-    DIP_ASSIGN_OR_RETURN(Table * customer, db->GetTable("customer"));
-    DIP_ASSIGN_OR_RETURN(Table * product, db->GetTable("product"));
-    DIP_ASSIGN_OR_RETURN(Table * sales, db->GetTable("sales"));
-    // Asian customers: custkey % 3 == 1, priority H/M/L.
-    for (int64_t k = 1; k <= sizes.customers; k += 3) {
-      const CityRow& c = kCities[CityOf(k) - 1];
-      const char* prio = std::string(CdbPriority(k)) == "HIGH"     ? "H"
-                         : std::string(CdbPriority(k)) == "MEDIUM" ? "M"
-                                                                   : "L";
-      DIP_RETURN_NOT_OK(customer->Insert(
-          {Value::Int(k), Value::String("Cust#" + std::to_string(k)),
-           Value::String(c.city), Value::String(c.nation),
-           Value::String(prio)}));
-    }
-    for (int64_t p = 1; p <= sizes.products; ++p) {
-      DIP_RETURN_NOT_OK(product->Insert(
-          {Value::Int(p), Value::String("Prod#" + std::to_string(p)),
-           Value::String(kProductGroups[ProductGroupOf(p) - 1]),
-           Value::String(kProductLines[(ProductGroupOf(p) - 1) / 3])}));
-    }
-    DistributionSampler cust_sampler(config_.distribution,
-                                     std::max<int64_t>(1, asia_customer_count),
-                                     rng->Next());
-    DistributionSampler prod_sampler(config_.distribution, sizes.products,
-                                     rng->Next());
-    // Beijing and Seoul hold overlapping sales data (their master data is
-    // kept in sync by P01): both draw order keys from a SHARED, bounded key
-    // domain, so the overlap P09's UNION DISTINCT must eliminate is real
-    // and depends on the distribution scale factor f (skewed draws collide
-    // far more often). Hongkong keeps disjoint sequential keys — its data
-    // arrives as messages (P08), never through the union.
-    bool shared_domain = std::string(svc) != "asia_hongkong";
-    // Independent draw sequences per service over the SAME key domain.
-    DistributionSampler key_sampler(config_.distribution,
-                                    2 * sizes.orders_per_asia, rng->Next());
-    int64_t volume = JitteredVolume(sizes.orders_per_asia, rng);
-    for (int64_t i = 1; i <= volume; ++i) {
-      int64_t orderkey;
-      int64_t custkey, prodkey, qty;
-      int64_t odate;
-      if (shared_domain) {
-        // A shared order IS the same real-world order: every attribute
-        // derives deterministically from the key, so Beijing's and Seoul's
-        // copies agree and the UNION DISTINCT can eliminate them.
-        int64_t draw = 1 + static_cast<int64_t>(key_sampler.Sample());
-        orderkey = OrderKey(period, 4, draw);
-        custkey = 1 + 3 * ((draw * 2654435761LL) %
-                           std::max<int64_t>(1, asia_customer_count));
-        prodkey = 1 + (draw * 40503) % sizes.products;
-        qty = draw % 17 == 0 ? 0 : 1 + draw % 5;  // injected errors too
-        odate = OrderDate(period, draw);
-        rng->Next();  // keep the stream advancing uniformly per row
-      } else {
-        orderkey = OrderKey(period, source_id, i);
-        custkey = 1 + 3 * (static_cast<int64_t>(cust_sampler.Sample()) %
-                           std::max<int64_t>(1, asia_customer_count));
-        if (rng->NextBool(0.4 * config_.error_rate)) {
-          custkey = sizes.customers + 300 + i;  // unrepairable reference
-        }
-        prodkey =
-            1 + static_cast<int64_t>(prod_sampler.Sample()) % sizes.products;
-        bool dirty = rng->NextBool(config_.error_rate);
-        qty = dirty ? 0 : 1 + static_cast<int64_t>(i % 5);
-        odate = OrderDate(period, i);
+  DIP_ASSIGN_OR_RETURN(Database * db, scenario_->db(service));
+  DIP_ASSIGN_OR_RETURN(Table * customer, db->GetTable("customer"));
+  DIP_ASSIGN_OR_RETURN(Table * product, db->GetTable("product"));
+  DIP_ASSIGN_OR_RETURN(Table * sales, db->GetTable("sales"));
+  // Asian customers: custkey % 3 == 1, priority H/M/L.
+  for (int64_t k = 1; k <= sizes.customers; k += 3) {
+    const CityRow& c = kCities[CityOf(k) - 1];
+    const char* prio = std::string(CdbPriority(k)) == "HIGH"     ? "H"
+                       : std::string(CdbPriority(k)) == "MEDIUM" ? "M"
+                                                                 : "L";
+    DIP_RETURN_NOT_OK(customer->Insert(
+        {Value::Int(k), Value::String("Cust#" + std::to_string(k)),
+         Value::String(c.city), Value::String(c.nation),
+         Value::String(prio)}));
+  }
+  for (int64_t p = 1; p <= sizes.products; ++p) {
+    DIP_RETURN_NOT_OK(product->Insert(
+        {Value::Int(p), Value::String("Prod#" + std::to_string(p)),
+         Value::String(kProductGroups[ProductGroupOf(p) - 1]),
+         Value::String(kProductLines[(ProductGroupOf(p) - 1) / 3])}));
+  }
+  DistributionSampler cust_sampler(config_.distribution,
+                                   std::max<int64_t>(1, asia_customer_count),
+                                   rng->Next());
+  DistributionSampler prod_sampler(config_.distribution, sizes.products,
+                                   rng->Next());
+  // Beijing and Seoul hold overlapping sales data (their master data is
+  // kept in sync by P01): both draw order keys from a SHARED, bounded key
+  // domain, so the overlap P09's UNION DISTINCT must eliminate is real
+  // and depends on the distribution scale factor f (skewed draws collide
+  // far more often). Hongkong keeps disjoint sequential keys — its data
+  // arrives as messages (P08), never through the union.
+  bool shared_domain = service != "asia_hongkong";
+  // Independent draw sequences per service over the SAME key domain.
+  DistributionSampler key_sampler(config_.distribution,
+                                  2 * sizes.orders_per_asia, rng->Next());
+  int64_t volume = JitteredVolume(sizes.orders_per_asia, rng);
+  for (int64_t i = 1; i <= volume; ++i) {
+    int64_t orderkey;
+    int64_t custkey, prodkey, qty;
+    int64_t odate;
+    if (shared_domain) {
+      // A shared order IS the same real-world order: every attribute
+      // derives deterministically from the key, so Beijing's and Seoul's
+      // copies agree and the UNION DISTINCT can eliminate them.
+      int64_t draw = 1 + static_cast<int64_t>(key_sampler.Sample());
+      orderkey = OrderKey(period, 4, draw);
+      custkey = 1 + 3 * ((draw * 2654435761LL) %
+                         std::max<int64_t>(1, asia_customer_count));
+      prodkey = 1 + (draw * 40503) % sizes.products;
+      qty = draw % 17 == 0 ? 0 : 1 + draw % 5;  // injected errors too
+      odate = OrderDate(period, draw);
+      rng->Next();  // keep the stream advancing uniformly per row
+    } else {
+      orderkey = OrderKey(period, source_id, i);
+      custkey = 1 + 3 * (static_cast<int64_t>(cust_sampler.Sample()) %
+                         std::max<int64_t>(1, asia_customer_count));
+      if (rng->NextBool(0.4 * config_.error_rate)) {
+        custkey = sizes.customers + 300 + i;  // unrepairable reference
       }
-      if (custkey > sizes.customers) custkey = 1;
-      // Price derives from key material so shared copies agree on it.
-      double price = 5.0 + static_cast<double>((orderkey * 48271) % 49500) /
-                               100.0;
-      Row row{Value::Int(orderkey), Value::Int(custkey), Value::Int(prodkey),
-              Value::Int(qty),      Value::Double(price),
-              Value::Date(odate)};
-      DIP_RETURN_NOT_OK(sales->InsertOrReplace(std::move(row)));
+      prodkey =
+          1 + static_cast<int64_t>(prod_sampler.Sample()) % sizes.products;
+      bool dirty = rng->NextBool(config_.error_rate);
+      qty = dirty ? 0 : 1 + static_cast<int64_t>(i % 5);
+      odate = OrderDate(period, i);
     }
-    ++source_id;
+    if (custkey > sizes.customers) custkey = 1;
+    // Price derives from key material so shared copies agree on it.
+    double price = 5.0 + static_cast<double>((orderkey * 48271) % 49500) /
+                             100.0;
+    Row row{Value::Int(orderkey), Value::Int(custkey), Value::Int(prodkey),
+            Value::Int(qty),      Value::Double(price),
+            Value::Date(odate)};
+    DIP_RETURN_NOT_OK(sales->InsertOrReplace(std::move(row)));
   }
   return Status::OK();
 }
 
-Status Initializer::SeedAmerica(int period, Rng* rng) {
+Status Initializer::SeedAmericaSource(const std::string& source,
+                                      int source_id, int period, Rng* rng) {
   Sizes sizes = SizesForConfig();
   int64_t us_customer_count = (sizes.customers + 2) / 3;
-  const char* sources[] = {"us_chicago", "us_baltimore", "us_madison"};
-  int source_id = 7;
-  for (const char* src : sources) {
-    DIP_ASSIGN_OR_RETURN(Database * db, scenario_->db(src));
-    DIP_ASSIGN_OR_RETURN(Table * customer, db->GetTable("customer"));
-    DIP_ASSIGN_OR_RETURN(Table * part, db->GetTable("part"));
-    DIP_ASSIGN_OR_RETURN(Table * orders, db->GetTable("orders"));
-    DIP_ASSIGN_OR_RETURN(Table * lineitem, db->GetTable("lineitem"));
-    // American customers: custkey % 3 == 2, priority URGENT/NORMAL/LOW.
-    for (int64_t k = 2; k <= sizes.customers; k += 3) {
-      const CityRow& c = kCities[CityOf(k) - 1];
-      const char* prio = std::string(CdbPriority(k)) == "HIGH"     ? "URGENT"
-                         : std::string(CdbPriority(k)) == "MEDIUM" ? "NORMAL"
-                                                                   : "LOW";
-      DIP_RETURN_NOT_OK(customer->Insert(
-          {Value::Int(k), Value::String("Customer#" + std::to_string(k)),
-           Value::String(c.city), Value::String(c.nation),
-           Value::String(prio)}));
+  DIP_ASSIGN_OR_RETURN(Database * db, scenario_->db(source));
+  DIP_ASSIGN_OR_RETURN(Table * customer, db->GetTable("customer"));
+  DIP_ASSIGN_OR_RETURN(Table * part, db->GetTable("part"));
+  DIP_ASSIGN_OR_RETURN(Table * orders, db->GetTable("orders"));
+  DIP_ASSIGN_OR_RETURN(Table * lineitem, db->GetTable("lineitem"));
+  // American customers: custkey % 3 == 2, priority URGENT/NORMAL/LOW.
+  for (int64_t k = 2; k <= sizes.customers; k += 3) {
+    const CityRow& c = kCities[CityOf(k) - 1];
+    const char* prio = std::string(CdbPriority(k)) == "HIGH"     ? "URGENT"
+                       : std::string(CdbPriority(k)) == "MEDIUM" ? "NORMAL"
+                                                                 : "LOW";
+    DIP_RETURN_NOT_OK(customer->Insert(
+        {Value::Int(k), Value::String("Customer#" + std::to_string(k)),
+         Value::String(c.city), Value::String(c.nation),
+         Value::String(prio)}));
+  }
+  for (int64_t p = 1; p <= sizes.products; ++p) {
+    DIP_RETURN_NOT_OK(part->Insert(
+        {Value::Int(p), Value::String("Part#" + std::to_string(p)),
+         Value::String(kProductGroups[ProductGroupOf(p) - 1]),
+         Value::String(kProductLines[(ProductGroupOf(p) - 1) / 3])}));
+  }
+  DistributionSampler cust_sampler(config_.distribution,
+                                   std::max<int64_t>(1, us_customer_count),
+                                   rng->Next());
+  DistributionSampler prod_sampler(config_.distribution, sizes.products,
+                                   rng->Next());
+  int64_t volume = JitteredVolume(sizes.orders_per_us, rng);
+  for (int64_t i = 1; i <= volume; ++i) {
+    int64_t okey = OrderKey(period, source_id, i);
+    int64_t ckey = 2 + 3 * (static_cast<int64_t>(cust_sampler.Sample()) %
+                            std::max<int64_t>(1, us_customer_count));
+    if (ckey > sizes.customers) ckey = 2;
+    if (rng->NextBool(0.4 * config_.error_rate)) {
+      ckey = sizes.customers + 200 + i;  // unrepairable reference error
     }
-    for (int64_t p = 1; p <= sizes.products; ++p) {
-      DIP_RETURN_NOT_OK(part->Insert(
-          {Value::Int(p), Value::String("Part#" + std::to_string(p)),
-           Value::String(kProductGroups[ProductGroupOf(p) - 1]),
-           Value::String(kProductLines[(ProductGroupOf(p) - 1) / 3])}));
+    DIP_RETURN_NOT_OK(orders->Insert(
+        {Value::Int(okey), Value::Int(ckey),
+         Value::Date(OrderDate(period, i)),
+         Value::String(i % 9 == 0 ? "P" : "F")}));
+    int64_t n_lines = 1 + static_cast<int64_t>(i % 2);
+    for (int64_t ln = 1; ln <= n_lines; ++ln) {
+      int64_t pkey =
+          1 + static_cast<int64_t>(prod_sampler.Sample()) % sizes.products;
+      bool dirty = rng->NextBool(config_.error_rate);
+      DIP_RETURN_NOT_OK(lineitem->Insert(
+          {Value::Int(okey), Value::Int(ln), Value::Int(pkey),
+           Value::Int(dirty ? -2 : 1 + static_cast<int64_t>(ln * 3)),
+           Value::Double(rng->NextDoubleIn(5.0, 500.0))}));
     }
-    DistributionSampler cust_sampler(config_.distribution,
-                                     std::max<int64_t>(1, us_customer_count),
-                                     rng->Next());
-    DistributionSampler prod_sampler(config_.distribution, sizes.products,
-                                     rng->Next());
-    int64_t volume = JitteredVolume(sizes.orders_per_us, rng);
-    for (int64_t i = 1; i <= volume; ++i) {
-      int64_t okey = OrderKey(period, source_id, i);
-      int64_t ckey = 2 + 3 * (static_cast<int64_t>(cust_sampler.Sample()) %
-                              std::max<int64_t>(1, us_customer_count));
-      if (ckey > sizes.customers) ckey = 2;
-      if (rng->NextBool(0.4 * config_.error_rate)) {
-        ckey = sizes.customers + 200 + i;  // unrepairable reference error
-      }
-      DIP_RETURN_NOT_OK(orders->Insert(
-          {Value::Int(okey), Value::Int(ckey),
-           Value::Date(OrderDate(period, i)),
-           Value::String(i % 9 == 0 ? "P" : "F")}));
-      int64_t n_lines = 1 + static_cast<int64_t>(i % 2);
-      for (int64_t ln = 1; ln <= n_lines; ++ln) {
-        int64_t pkey =
-            1 + static_cast<int64_t>(prod_sampler.Sample()) % sizes.products;
-        bool dirty = rng->NextBool(config_.error_rate);
-        DIP_RETURN_NOT_OK(lineitem->Insert(
-            {Value::Int(okey), Value::Int(ln), Value::Int(pkey),
-             Value::Int(dirty ? -2 : 1 + static_cast<int64_t>(ln * 3)),
-             Value::Double(rng->NextDoubleIn(5.0, 500.0))}));
-      }
-    }
-    ++source_id;
   }
   return Status::OK();
 }

@@ -30,6 +30,16 @@ namespace dipbench {
 /// MDM_Europe, Hongkong, San Diego, Beijing) that the Client attaches to
 /// message-stream events; San Diego messages are deliberately error-prone
 /// (paper: "it is assumed that this application is very error-prone").
+///
+/// Parallel generation: period initialization decomposes into independent
+/// seeding units — one per external database instance (CDB, Berlin/Paris,
+/// Trondheim, three Asian services, three American sources). Each unit
+/// draws from its own PRNG stream, forked from the period master stream in
+/// a FIXED order before any unit runs, so the generated rows (including
+/// their order within every table) are byte-identical whether the units run
+/// serially (`ScaleConfig::datagen_jobs == 1`, the default) or concurrently
+/// on up to `datagen_jobs` threads. Units touch disjoint Database objects;
+/// nothing else is shared.
 class Initializer {
  public:
   Initializer(Scenario* scenario, const ScaleConfig& config);
@@ -73,11 +83,15 @@ class Initializer {
   }
 
  private:
+  /// Seeding units (one external database instance each; see class doc).
+  Status SeedCdb(Rng* rng);
   Status SeedCdbReference();
   Status SeedCdbMaster(Rng* rng);
-  Status SeedEurope(int period, Rng* rng);
-  Status SeedAsia(int period, Rng* rng);
-  Status SeedAmerica(int period, Rng* rng);
+  Status SeedEuropeDb(const std::string& db_name, int period, Rng* rng);
+  Status SeedAsiaService(const std::string& service, int source_id,
+                         int period, Rng* rng);
+  Status SeedAmericaSource(const std::string& source, int source_id,
+                           int period, Rng* rng);
 
   /// Priority of a customer in CDB terms, derived deterministically.
   static const char* CdbPriority(int64_t custkey);

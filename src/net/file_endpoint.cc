@@ -1,8 +1,13 @@
 #include "src/net/file_endpoint.h"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 #include "src/xml/bridge.h"
 #include "src/xml/parser.h"
@@ -52,6 +57,45 @@ Status FileStore::SaveToDisk(const std::string& directory) const {
     }
   }
   return Status::OK();
+}
+
+Result<std::string> FileStore::ClaimUniqueDir(const std::string& base_dir,
+                                              const std::string& prefix) {
+  // One counter per process: two concurrent runs (threads) can never claim
+  // the same name, and the pid component keeps parallel ctest processes
+  // apart even when they share a base directory.
+  static std::atomic<uint64_t> g_next{0};
+  std::error_code ec;
+  std::filesystem::create_directories(base_dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create " + base_dir + ": " + ec.message());
+  }
+  const uint64_t pid =
+#ifdef _WIN32
+      0;
+#else
+      static_cast<uint64_t>(::getpid());
+#endif
+  for (int tries = 0; tries < 1024; ++tries) {
+    uint64_t n = g_next.fetch_add(1, std::memory_order_relaxed);
+    std::string dir = base_dir + "/" + prefix + "-" + std::to_string(pid) +
+                      "-" + std::to_string(n);
+    // create_directory (single level) returns false without error when the
+    // directory already exists — claimed by someone else, try the next id.
+    bool created = std::filesystem::create_directory(dir, ec);
+    if (ec) {
+      return Status::Internal("cannot create " + dir + ": " + ec.message());
+    }
+    if (created) return dir;
+  }
+  return Status::Internal("cannot claim a unique directory under " + base_dir);
+}
+
+Result<std::string> FileStore::SaveToUniqueDir(const std::string& base_dir,
+                                               const std::string& prefix) const {
+  DIP_ASSIGN_OR_RETURN(std::string dir, ClaimUniqueDir(base_dir, prefix));
+  DIP_RETURN_NOT_OK(SaveToDisk(dir));
+  return dir;
 }
 
 Status FileStore::LoadFromDisk(const std::string& directory) {

@@ -34,6 +34,21 @@ class FileStore {
   /// Reads every regular file of `directory` into the store.
   Status LoadFromDisk(const std::string& directory);
 
+  /// Saves into a freshly claimed `base_dir/<prefix>-<pid>-<n>` directory
+  /// and returns its path. The directory name is unique within the process
+  /// (atomic counter) and across processes (pid), so concurrent benchmark
+  /// runs staging under the same base never clobber each other's exports —
+  /// use this instead of a shared fixed staging path whenever more than one
+  /// run may be in flight.
+  Result<std::string> SaveToUniqueDir(const std::string& base_dir,
+                                      const std::string& prefix) const;
+
+  /// Claims a process-unique directory path under `base_dir` (creating it)
+  /// without writing any files — shared by SaveToUniqueDir and tests that
+  /// need an isolated scratch directory under a parallel ctest.
+  static Result<std::string> ClaimUniqueDir(const std::string& base_dir,
+                                            const std::string& prefix);
+
  private:
   std::map<std::string, std::string> files_;
 };

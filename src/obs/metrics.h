@@ -1,32 +1,52 @@
 #ifndef DIPBENCH_OBS_METRICS_H_
 #define DIPBENCH_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace dipbench {
 namespace obs {
 
-/// Monotonically increasing event count.
+/// Thread-safety contract of this module (see SPECIFICATION.md §11): each
+/// benchmark run OWNS its TraceRecorder and MetricsRegistry — the parallel
+/// harness (src/harness) creates one pair per run, so the hot instrument
+/// paths need no locks across runs. Within one registry that is nevertheless
+/// shared (e.g. engine + network + client of the SAME run, which all execute
+/// on that run's thread — or a deliberately shared cross-run registry):
+///   * instrument creation (Get*) is mutex-guarded;
+///   * Counter and Gauge writes are atomic (relaxed — they are statistics,
+///     not synchronization);
+///   * Histogram::Observe and all readers (Find*, counters(), exporters)
+///     are NOT synchronized against concurrent writers: they are meant for
+///     the owning thread, or for after the writers have been joined.
+
+/// Monotonically increasing event count. Increments are atomic so a
+/// registry shared across threads stays race-free; reads are exact once
+/// the writers are quiescent.
 class Counter {
  public:
-  void Increment(uint64_t n = 1) { value_ += n; }
-  uint64_t value() const { return value_; }
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
-/// Last-written instantaneous value.
+/// Last-written instantaneous value. Atomic store/load; "last" is
+/// unspecified under concurrent writers (it is a gauge, not a ledger).
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  double value() const { return value_; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-bucket histogram. Buckets are defined by their inclusive upper
@@ -75,6 +95,12 @@ class Histogram {
 /// Named metrics, injected into modules as part of an ObsContext instead of
 /// living in a global. Instruments are created on first use and live as
 /// long as the registry; returned pointers stay valid (node-based map).
+///
+/// Creation (Get*) is mutex-guarded so threads sharing one registry can
+/// race on first use; the returned Counter/Gauge pointers are then safe to
+/// write from any thread (atomic), while Histogram pointers must only be
+/// observed from one thread at a time (per-run ownership — the harness
+/// contract). Read accessors are for the owner or post-join aggregation.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -100,6 +126,7 @@ class MetricsRegistry {
   }
 
  private:
+  mutable std::mutex mu_;  ///< Guards map insertion/lookup, not instruments.
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

@@ -47,6 +47,13 @@ struct Span {
 /// The recorder is designed to be reached through an ObsContext pointer
 /// that may be null: every instrumentation site guards on the pointer, so
 /// a disabled run performs no calls and no allocations here.
+///
+/// Thread-safety contract: a TraceRecorder is owned by ONE benchmark run
+/// and only touched from that run's thread (the parallel harness creates
+/// one recorder per run). It is deliberately unsynchronized — span nesting
+/// is a per-run execution structure, and sharing one recorder between
+/// concurrent runs would interleave their stacks meaninglessly. Read it
+/// after the run (or its thread) has finished.
 class TraceRecorder {
  public:
   TraceRecorder() = default;

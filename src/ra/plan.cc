@@ -26,7 +26,7 @@ size_t RowSet::ByteSize() const {
 namespace {
 // Engine-wide execution mode. The engine is a single-threaded discrete-event
 // simulation, so a plain global suffices.
-ExecMode g_exec_mode = ExecMode::kPipeline;
+thread_local ExecMode g_exec_mode = ExecMode::kPipeline;
 }  // namespace
 
 ExecMode CurrentExecMode() { return g_exec_mode; }

@@ -51,12 +51,16 @@ struct ExecContext {
 ///                  scan, and the hash-join build side) materialize.
 enum class ExecMode { kMaterialize, kPipeline };
 
-/// Process-wide execution mode (the engine is single-threaded DES; this is
-/// not synchronized). Defaults to kPipeline.
+/// Per-THREAD execution mode, defaulting to kPipeline on every thread. Each
+/// DES engine runs single-threaded, but independent benchmark runs may now
+/// execute on concurrent harness threads (src/harness), so the mode lives in
+/// thread-local storage: a ScopedExecMode on one run's thread can never leak
+/// into a co-scheduled run. Threads do NOT inherit the spawning thread's
+/// mode — the harness re-applies the submitting thread's mode per job.
 ExecMode CurrentExecMode();
 void SetExecMode(ExecMode mode);
 
-/// RAII mode override for tests and benchmarks.
+/// RAII mode override for tests and benchmarks (this thread only).
 class ScopedExecMode {
  public:
   explicit ScopedExecMode(ExecMode mode) : prev_(CurrentExecMode()) {

@@ -230,10 +230,12 @@ TEST(FileStoreTest, BasicOps) {
 }
 
 TEST(FileStoreTest, DiskRoundTrip) {
-  std::string dir =
-      (std::filesystem::temp_directory_path() / "dipbench_filestore_test")
-          .string();
-  std::filesystem::remove_all(dir);
+  // Claimed per-process-unique so a parallel ctest (or a concurrent
+  // harness run) can never race this test on a shared fixed path.
+  std::string dir = net::FileStore::ClaimUniqueDir(
+                        std::filesystem::temp_directory_path().string(),
+                        "dipbench_filestore_test")
+                        .ValueOrDie();
   net::FileStore store;
   store.Write("x.xml", "<x>1</x>");
   store.Write("y.xml", "<y attr=\"v\"/>");

@@ -362,7 +362,12 @@ TEST(FileStoreSaveTest, RoundTripsThroughDisk) {
   net::FileStore store;
   store.Write("x.xml", "<x>1</x>");
   store.Write("y.xml", "<y>2</y>");
-  const std::string dir = ::testing::TempDir() + "fault_recovery_store";
+  // Claimed per-process-unique so a parallel ctest can never race this
+  // test on a shared fixed path.
+  const std::string dir =
+      net::FileStore::ClaimUniqueDir(::testing::TempDir(),
+                                     "fault_recovery_store")
+          .ValueOrDie();
   ASSERT_TRUE(store.SaveToDisk(dir).ok());
   net::FileStore loaded;
   ASSERT_TRUE(loaded.LoadFromDisk(dir).ok());
