@@ -10,32 +10,31 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 
+#include "src/common/flags.h"
 #include "src/dipbench/client.h"
 #include "src/harness/harness.h"
 
 using namespace dipbench;
 
-namespace {
-
-std::string FlagValue(int argc, char** argv, const char* flag) {
-  size_t len = std::strlen(flag);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
-      return std::string(argv[i] + len + 1);
-    }
-  }
-  return "";
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  flags::FlagSet flags("bench_distribution");
+  flags.Define("jobs", "pool concurrency (default: hardware threads)");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  Result<int> jobs = flags.GetInt("jobs", 0);
+  if (!jobs.ok()) {
+    std::fprintf(stderr, "%s\n%s", jobs.status().ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+
   int periods = 10;
   if (const char* p = std::getenv("DIPBENCH_PERIODS")) periods = std::atoi(p);
-  const std::string jobs_flag = FlagValue(argc, argv, "--jobs");
-  harness::RunnerPool pool(jobs_flag.empty() ? 0 : std::atoi(jobs_flag.c_str()));
+  harness::RunnerPool pool(*jobs);
 
   std::vector<harness::RunSpec> specs;
   for (Distribution dist :

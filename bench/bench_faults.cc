@@ -22,10 +22,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "src/common/flags.h"
 #include "src/common/string_util.h"
 #include "src/dipbench/client.h"
 #include "src/harness/harness.h"
@@ -33,16 +33,6 @@
 using namespace dipbench;
 
 namespace {
-
-std::string FlagValue(int argc, char** argv, const char* flag) {
-  size_t len = std::strlen(flag);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
-      return std::string(argv[i] + len + 1);
-    }
-  }
-  return "";
-}
 
 struct SweepPoint {
   double q = 0.0;
@@ -84,6 +74,21 @@ SweepPoint ToSweepPoint(const harness::RunOutcome& outcome) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  flags::FlagSet flags("bench_faults");
+  flags.Define("jobs", "pool concurrency (default: hardware threads)")
+      .Define("json-out", "write the sweep summary as JSON to this path");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  Result<int> jobs = flags.GetInt("jobs", 0);
+  if (!jobs.ok()) {
+    std::fprintf(stderr, "%s\n%s", jobs.status().ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+
   ScaleConfig base;
   base.datasize = 0.05;
   base.time_scale = 1.0;
@@ -92,9 +97,8 @@ int main(int argc, char** argv) {
   if (const char* p = std::getenv("DIPBENCH_PERIODS")) {
     base.periods = std::atoi(p);
   }
-  const std::string json_out = FlagValue(argc, argv, "--json-out");
-  const std::string jobs_flag = FlagValue(argc, argv, "--jobs");
-  harness::RunnerPool pool(jobs_flag.empty() ? 0 : std::atoi(jobs_flag.c_str()));
+  const std::string json_out = flags.Get("json-out");
+  harness::RunnerPool pool(*jobs);
 
   std::printf("=== Fault-injection sweep, federated reference "
               "implementation, %d periods, %d jobs ===\n\n",

@@ -13,70 +13,100 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
+#include "src/common/flags.h"
 #include "src/common/string_util.h"
 #include "src/dipbench/client.h"
+#include "src/harness/harness.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/export.h"
+#include "src/scenario/manifest.h"
 
 using namespace dipbench;
 
-namespace {
-
-/// --flag=<value> parsing for the observability outputs.
-std::string FlagValue(int argc, char** argv, const char* flag) {
-  size_t len = std::strlen(flag);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
-      return std::string(argv[i] + len + 1);
-    }
-  }
-  return "";
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  flags::FlagSet flags("bench_fig10");
+  flags.Define("scenario", "drive the figure from a scenario manifest "
+                           "(first expanded run) instead of the paper config")
+      .Define("trace-out", "write a Chrome trace of the run to this path")
+      .Define("metrics-out", "write metrics (.json or CSV) to this path")
+      .Define("fault-rate", "endpoint call failure probability q "
+                            "(enables 8-attempt retry + dead letters)")
+      .Define("retry-attempts", "attempts per process instance")
+      .Define("exec-mode", "materialize | pipeline (default pipeline)");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+
   ScaleConfig config;
   config.datasize = 0.05;
   config.time_scale = 1.0;
   config.distribution = Distribution::kUniform;
   config.periods = 100;
+  std::string engine_name = "federated";
+  // --scenario=<file>: the manifest's first expanded run (first engine,
+  // first sweep value) replaces the compiled-in Figure 10 configuration;
+  // the remaining flags still apply on top of it.
+  const std::string scenario_path = flags.Get("scenario");
+  if (!scenario_path.empty()) {
+    auto manifest = scenario::ScenarioManifest::Load(scenario_path);
+    if (!manifest.ok()) {
+      std::fprintf(stderr, "%s\n", manifest.status().ToString().c_str());
+      return 2;
+    }
+    harness::RunSpec spec = manifest->Expand().front();
+    config = spec.config;
+    engine_name = spec.engine;
+    std::printf("scenario: %s (%s)\n\n", spec.label.c_str(),
+                scenario_path.c_str());
+  }
   if (const char* p = std::getenv("DIPBENCH_PERIODS")) {
     config.periods = std::atoi(p);
   }
-  const std::string trace_out = FlagValue(argc, argv, "--trace-out");
-  const std::string metrics_out = FlagValue(argc, argv, "--metrics-out");
+  const std::string trace_out = flags.Get("trace-out");
+  const std::string metrics_out = flags.Get("metrics-out");
   // Fault injection + recovery (src/net/fault.h): --fault-rate=q makes
   // every endpoint call fail with probability q (seeded, reproducible);
   // --retry-attempts=n gives each instance n attempts with 1 tu
   // exponential backoff and dead-letters it when the budget is exhausted.
   // Defaults keep both off — output is byte-identical to earlier builds.
-  const std::string fault_rate = FlagValue(argc, argv, "--fault-rate");
-  if (!fault_rate.empty()) {
-    config.fault_rate = std::atof(fault_rate.c_str());
+  if (flags.Has("fault-rate")) {
+    Result<double> q = flags.GetDouble("fault-rate", 0.0);
+    if (!q.ok()) {
+      std::fprintf(stderr, "%s\n%s", q.status().ToString().c_str(),
+                   flags.Usage().c_str());
+      return 2;
+    }
+    config.fault_rate = *q;
     config.retry_max_attempts = 8;
     config.retry_backoff_tu = 1.0;
     config.retry_dead_letter = true;
   }
-  const std::string retry_attempts = FlagValue(argc, argv, "--retry-attempts");
-  if (!retry_attempts.empty()) {
-    config.retry_max_attempts = std::atoi(retry_attempts.c_str());
+  if (flags.Has("retry-attempts")) {
+    Result<int> attempts = flags.GetInt("retry-attempts", 1);
+    if (!attempts.ok()) {
+      std::fprintf(stderr, "%s\n%s", attempts.status().ToString().c_str(),
+                   flags.Usage().c_str());
+      return 2;
+    }
+    config.retry_max_attempts = *attempts;
     config.retry_backoff_tu = 1.0;
     config.retry_dead_letter = true;
   }
   // --exec-mode=materialize|pipeline (default pipeline). Monitor output is
   // identical between modes; the flag exists for parity checks and timing.
-  const std::string exec_mode = FlagValue(argc, argv, "--exec-mode");
+  const std::string exec_mode = flags.Get("exec-mode");
   if (exec_mode == "materialize") {
     SetExecMode(ExecMode::kMaterialize);
   } else if (exec_mode == "pipeline") {
     SetExecMode(ExecMode::kPipeline);
   } else if (!exec_mode.empty()) {
-    std::fprintf(stderr, "unknown --exec-mode=%s\n", exec_mode.c_str());
-    return 1;
+    std::fprintf(stderr, "unknown --exec-mode=%s\n%s", exec_mode.c_str(),
+                 flags.Usage().c_str());
+    return 2;
   }
 
   auto scenario_result = Scenario::Create();
@@ -85,7 +115,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   auto scenario = std::move(scenario_result).ValueOrDie();
-  core::FederatedEngine engine(scenario->network());
+  auto engine_result = harness::MakeEngine(engine_name, scenario->network(),
+                                           config.worker_slots);
+  if (!engine_result.ok()) {
+    std::fprintf(stderr, "%s\n", engine_result.status().ToString().c_str());
+    return 1;
+  }
+  core::EngineBase& engine = **engine_result;
   Client client(scenario.get(), &engine, config);
 
   // Observability is opt-in: without the flags no recorder exists and the

@@ -10,48 +10,31 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
+#include "src/common/flags.h"
 #include "src/common/string_util.h"
 #include "src/dipbench/client.h"
+#include "src/harness/harness.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/export.h"
+#include "src/scenario/manifest.h"
 
 using namespace dipbench;
 
 namespace {
 
-/// --flag=<value> parsing for the observability outputs.
-std::string FlagValue(int argc, char** argv, const char* flag) {
-  size_t len = std::strlen(flag);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
-      return std::string(argv[i] + len + 1);
-    }
-  }
-  return "";
-}
-
-Result<BenchmarkResult> RunAt(double datasize, int periods,
-                              double fault_rate = 0.0, int retry_attempts = 1,
+Result<BenchmarkResult> RunAt(ScaleConfig config, const std::string& engine_name,
+                              double datasize,
                               obs::ObsContext obs = obs::ObsContext()) {
-  ScaleConfig config;
   config.datasize = datasize;
-  config.time_scale = 1.0;
-  config.distribution = Distribution::kUniform;
-  config.periods = periods;
-  if (fault_rate > 0.0 || retry_attempts > 1) {
-    config.fault_rate = fault_rate;
-    config.retry_max_attempts = retry_attempts;
-    config.retry_backoff_tu = 1.0;
-    config.retry_dead_letter = true;
-  }
   DIP_ASSIGN_OR_RETURN(auto scenario, Scenario::Create());
-  core::FederatedEngine engine(scenario->network());
-  Client client(scenario.get(), &engine, config);
+  DIP_ASSIGN_OR_RETURN(auto engine,
+                       harness::MakeEngine(engine_name, scenario->network(),
+                                           config.worker_slots));
+  Client client(scenario.get(), engine.get(), config);
   if (obs.enabled()) {
-    engine.SetObserver(obs);
+    engine->SetObserver(obs);
     scenario->network()->SetObserver(obs);
     client.SetObserver(obs);
   }
@@ -61,31 +44,84 @@ Result<BenchmarkResult> RunAt(double datasize, int periods,
 }  // namespace
 
 int main(int argc, char** argv) {
-  int periods = 100;
-  if (const char* p = std::getenv("DIPBENCH_PERIODS")) periods = std::atoi(p);
-  const std::string trace_out = FlagValue(argc, argv, "--trace-out");
-  const std::string metrics_out = FlagValue(argc, argv, "--metrics-out");
+  flags::FlagSet flags("bench_fig11");
+  flags.Define("scenario", "base both runs on a scenario manifest's first "
+                           "expanded config (datasize forced to 0.1/0.05)")
+      .Define("trace-out", "write a Chrome trace of the d=0.1 run here")
+      .Define("metrics-out", "write metrics (.json or CSV) to this path")
+      .Define("fault-rate", "endpoint call failure probability q "
+                            "(enables 8-attempt retry + dead letters)")
+      .Define("retry-attempts", "attempts per process instance")
+      .Define("exec-mode", "materialize | pipeline (default pipeline)");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+
+  ScaleConfig base;
+  base.datasize = 0.05;
+  base.time_scale = 1.0;
+  base.distribution = Distribution::kUniform;
+  base.periods = 100;
+  std::string engine_name = "federated";
+  // --scenario=<file>: the manifest's first expanded run becomes the base
+  // configuration of BOTH runs; only datasize is forced to the figure's
+  // 0.1-vs-0.05 axis.
+  const std::string scenario_path = flags.Get("scenario");
+  if (!scenario_path.empty()) {
+    auto manifest = scenario::ScenarioManifest::Load(scenario_path);
+    if (!manifest.ok()) {
+      std::fprintf(stderr, "%s\n", manifest.status().ToString().c_str());
+      return 2;
+    }
+    harness::RunSpec spec = manifest->Expand().front();
+    base = spec.config;
+    engine_name = spec.engine;
+    std::printf("scenario: %s (%s)\n\n", spec.label.c_str(),
+                scenario_path.c_str());
+  }
+  if (const char* p = std::getenv("DIPBENCH_PERIODS")) {
+    base.periods = std::atoi(p);
+  }
+  const std::string trace_out = flags.Get("trace-out");
+  const std::string metrics_out = flags.Get("metrics-out");
   // Fault injection + recovery, applied to BOTH runs so the d comparison
   // stays apples-to-apples. Defaults keep it off (byte-identical output).
-  double fault_rate = 0.0;
-  int retry_attempts = 1;
-  const std::string fault_flag = FlagValue(argc, argv, "--fault-rate");
-  if (!fault_flag.empty()) {
-    fault_rate = std::atof(fault_flag.c_str());
-    retry_attempts = 8;
+  if (flags.Has("fault-rate")) {
+    Result<double> q = flags.GetDouble("fault-rate", 0.0);
+    if (!q.ok()) {
+      std::fprintf(stderr, "%s\n%s", q.status().ToString().c_str(),
+                   flags.Usage().c_str());
+      return 2;
+    }
+    base.fault_rate = *q;
+    base.retry_max_attempts = 8;
+    base.retry_backoff_tu = 1.0;
+    base.retry_dead_letter = true;
   }
-  const std::string retry_flag = FlagValue(argc, argv, "--retry-attempts");
-  if (!retry_flag.empty()) retry_attempts = std::atoi(retry_flag.c_str());
+  if (flags.Has("retry-attempts")) {
+    Result<int> attempts = flags.GetInt("retry-attempts", 1);
+    if (!attempts.ok()) {
+      std::fprintf(stderr, "%s\n%s", attempts.status().ToString().c_str(),
+                   flags.Usage().c_str());
+      return 2;
+    }
+    base.retry_max_attempts = *attempts;
+    base.retry_backoff_tu = 1.0;
+    base.retry_dead_letter = true;
+  }
   // --exec-mode=materialize|pipeline (default pipeline). Monitor output is
   // identical between modes; the flag exists for parity checks and timing.
-  const std::string exec_mode = FlagValue(argc, argv, "--exec-mode");
+  const std::string exec_mode = flags.Get("exec-mode");
   if (exec_mode == "materialize") {
     SetExecMode(ExecMode::kMaterialize);
   } else if (exec_mode == "pipeline") {
     SetExecMode(ExecMode::kPipeline);
   } else if (!exec_mode.empty()) {
-    std::fprintf(stderr, "unknown --exec-mode=%s\n", exec_mode.c_str());
-    return 1;
+    std::fprintf(stderr, "unknown --exec-mode=%s\n%s", exec_mode.c_str(),
+                 flags.Usage().c_str());
+    return 2;
   }
 
   // The observer (when requested) watches the Fig. 11 run (d = 0.1); the
@@ -97,8 +133,8 @@ int main(int argc, char** argv) {
     obs = obs::ObsContext(trace_out.empty() ? nullptr : &recorder, &registry);
   }
 
-  auto fig11 = RunAt(0.1, periods, fault_rate, retry_attempts, obs);
-  auto fig10 = RunAt(0.05, periods, fault_rate, retry_attempts);
+  auto fig11 = RunAt(base, engine_name, 0.1, obs);
+  auto fig10 = RunAt(base, engine_name, 0.05);
   if (!fig11.ok() || !fig10.ok()) {
     std::fprintf(stderr, "%s %s\n", fig11.status().ToString().c_str(),
                  fig10.status().ToString().c_str());

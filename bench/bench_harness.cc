@@ -10,10 +10,10 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "src/common/flags.h"
 #include "src/common/string_util.h"
 #include "src/dipbench/client.h"
 #include "src/harness/harness.h"
@@ -21,16 +21,6 @@
 using namespace dipbench;
 
 namespace {
-
-std::string FlagValue(int argc, char** argv, const char* flag) {
-  size_t len = std::strlen(flag);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
-      return std::string(argv[i] + len + 1);
-    }
-  }
-  return "";
-}
 
 struct Level {
   int jobs = 0;
@@ -41,9 +31,17 @@ struct Level {
 }  // namespace
 
 int main(int argc, char** argv) {
+  flags::FlagSet flags("bench_harness");
+  flags.Define("json-out", "write the scaling summary as JSON to this path");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+
   int periods = 10;
   if (const char* p = std::getenv("DIPBENCH_PERIODS")) periods = std::atoi(p);
-  const std::string json_out = FlagValue(argc, argv, "--json-out");
+  const std::string json_out = flags.Get("json-out");
 
   ScaleConfig base;
   base.datasize = 0.05;

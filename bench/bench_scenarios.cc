@@ -1,0 +1,204 @@
+// Scenario-manifest sweeper: loads every examples/scenarios/*.json
+// manifest, validates it against the live system landscape, expands the
+// collection into pooled RunSpecs and executes them twice — once at
+// --jobs workers and once fully serial. Reports the merged NAVG+ table
+// across all scenario runs.
+//
+// Exit gates (all must hold for exit code 0):
+//   1. every manifest loads and validates (a bad one exits 2 naming the
+//      file, line and column),
+//   2. the parallel pool reproduces the serial pool's per-run Monitor
+//      CSVs byte for byte — and since that is a full repeat of the whole
+//      collection, the same gate proves run-to-run determinism,
+//   3. the paper-baseline manifest reproduces the compiled-in schedule
+//      (a default-constructed ScaleConfig) byte for byte: the manifest
+//      layer adds expressiveness, never drift.
+//
+// DIPBENCH_PERIODS overrides every run's period count (CI smoke);
+// --json-out=<path> writes BENCH_scenarios.json for the CI artifact.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/string_util.h"
+#include "src/harness/harness.h"
+#include "src/scenario/manager.h"
+
+using namespace dipbench;
+
+namespace {
+
+/// JSON string escaping for the report artifact (labels contain '/').
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flags::FlagSet flags("bench_scenarios");
+  flags.Define("dir", "scenario manifest directory (default: "
+                      "examples/scenarios, then ../examples/scenarios)")
+      .Define("jobs", "worker threads for the parallel pass (default 4)")
+      .Define("json-out", "write the run summary as JSON to this path");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  Result<int> jobs = flags.GetInt("jobs", 4);
+  if (!jobs.ok()) {
+    std::fprintf(stderr, "%s\n%s", jobs.status().ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  const std::string json_out = flags.Get("json-out");
+
+  // --- Gate 1: load + validate the collection. ---
+  scenario::ScenarioManager manager;
+  std::string dir = flags.Get("dir");
+  Status loaded;
+  if (!dir.empty()) {
+    loaded = manager.LoadDirectory(dir);
+  } else {
+    // Running from the repo root or from build/.
+    dir = "examples/scenarios";
+    loaded = manager.LoadDirectory(dir);
+    if (!loaded.ok()) {
+      dir = "../examples/scenarios";
+      loaded = manager.LoadDirectory(dir);
+    }
+  }
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
+    return 2;
+  }
+  if (Status st = manager.ValidateLandscape(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+
+  std::vector<harness::RunSpec> specs = manager.ExpandAll();
+  int periods_override = 0;
+  if (const char* p = std::getenv("DIPBENCH_PERIODS")) {
+    periods_override = std::atoi(p);
+  }
+  if (periods_override > 0) {
+    for (harness::RunSpec& spec : specs) {
+      spec.config.periods = periods_override;
+    }
+  }
+
+  std::printf("=== Scenario sweep: %zu manifests from %s -> %zu runs ===\n\n",
+              manager.manifests().size(), dir.c_str(), specs.size());
+
+  // --- Run: parallel pass, then the serial reference pass. ---
+  harness::RunnerPool parallel_pool(*jobs);
+  StopWatch parallel_watch;
+  std::vector<harness::RunOutcome> outcomes = parallel_pool.Run(specs);
+  const double parallel_ms = parallel_watch.ElapsedMillis();
+
+  harness::RunnerPool serial_pool(1);
+  std::vector<harness::RunOutcome> serial = serial_pool.Run(specs);
+
+  bool runs_ok = true;
+  for (const harness::RunOutcome& outcome : outcomes) {
+    if (!outcome.ok) {
+      std::fprintf(stderr, "run '%s' failed: %s\n",
+                   outcome.spec.DisplayLabel().c_str(),
+                   outcome.error.c_str());
+      runs_ok = false;
+    }
+  }
+
+  // --- Gate 2: jobs=N == jobs=1, byte for byte, across a full repeat. ---
+  size_t mismatches = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].ok || !serial[i].ok ||
+        outcomes[i].monitor_csv != serial[i].monitor_csv) {
+      ++mismatches;
+    }
+  }
+
+  // --- Gate 3: paper-baseline == compiled-in schedule. ---
+  // The manifest spells out the ScaleConfig defaults; the reference run
+  // uses a default-constructed config that never saw the manifest layer.
+  bool baseline_found = false;
+  bool baseline_identical = true;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i].spec.label.rfind("paper-baseline", 0) != 0) continue;
+    baseline_found = true;
+    harness::RunSpec reference;
+    reference.config = ScaleConfig{};
+    if (periods_override > 0) reference.config.periods = periods_override;
+    reference.engine = outcomes[i].spec.engine;
+    harness::RunOutcome ref = harness::RunnerPool::ExecuteOne(reference);
+    if (!outcomes[i].ok || !ref.ok ||
+        outcomes[i].monitor_csv != ref.monitor_csv) {
+      baseline_identical = false;
+      std::fprintf(stderr,
+                   "paper-baseline gate: '%s' does not reproduce the "
+                   "compiled-in schedule\n",
+                   outcomes[i].spec.DisplayLabel().c_str());
+    }
+  }
+  if (!baseline_found) {
+    std::fprintf(stderr, "paper-baseline gate: no manifest named "
+                         "'paper-baseline' in %s\n", dir.c_str());
+    baseline_identical = false;
+  }
+
+  std::printf("%s\n",
+              harness::RunnerPool::RenderReport(outcomes, parallel_ms)
+                  .c_str());
+  std::printf("parallel gate (jobs=%d vs jobs=1, full repeat): %s\n",
+              parallel_pool.jobs(),
+              mismatches == 0 ? "identical"
+                              : StrFormat("%zu MISMATCH", mismatches).c_str());
+  std::printf("paper-baseline gate: %s\n",
+              baseline_identical ? "identical to compiled-in schedule"
+                                 : "VIOLATED");
+
+  if (!json_out.empty()) {
+    std::string json = "{\n";
+    json += StrFormat("  \"manifests\": %zu,\n", manager.manifests().size());
+    json += StrFormat("  \"jobs\": %d,\n", parallel_pool.jobs());
+    json += StrFormat("  \"parallel_identical\": %s,\n",
+                      mismatches == 0 ? "true" : "false");
+    json += StrFormat("  \"baseline_identical\": %s,\n",
+                      baseline_identical ? "true" : "false");
+    json += "  \"runs\": [\n";
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      const harness::RunOutcome& o = outcomes[i];
+      json += StrFormat(
+          "    {\"label\": \"%s\", \"engine\": \"%s\", \"ok\": %s, "
+          "\"navg_p03_tu\": %.3f, \"navg_p09_tu\": %.3f, "
+          "\"navg_p13_tu\": %.3f, \"virtual_ms\": %.3f, "
+          "\"wall_ms\": %.3f}%s\n",
+          JsonEscape(o.spec.DisplayLabel()).c_str(), o.spec.engine.c_str(),
+          o.ok ? "true" : "false", o.result.NavgPlus("P03"),
+          o.result.NavgPlus("P09"), o.result.NavgPlus("P13"),
+          o.result.virtual_ms, o.wall_ms,
+          i + 1 < outcomes.size() ? "," : "");
+    }
+    json += "  ]\n}\n";
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote scenario sweep to %s\n", json_out.c_str());
+  }
+
+  return (runs_ok && mismatches == 0 && baseline_identical) ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+#ifndef DIPBENCH_COMMON_JSON_H_
+#define DIPBENCH_COMMON_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace dipbench {
+namespace json {
+
+/// A parsed JSON value. The repo's obs layer *writes* JSON (src/obs/export);
+/// this is the matching dependency-free *reader*, built for configuration
+/// files: objects preserve member order, every value remembers the line and
+/// column it started at (1-based), and all parse errors carry that position
+/// ("line 3, column 14: expected ':' after object key").
+///
+/// Deliberate strictness beyond RFC 8259: duplicate object keys are a parse
+/// error — in a hand-written manifest a duplicate key is always a mistake,
+/// and silently keeping one of the two values would hide it.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<Value> items;                              ///< kArray
+  std::vector<std::pair<std::string, Value>> members;    ///< kObject, ordered
+
+  /// Where this value started in the source text (1-based).
+  int line = 0;
+  int column = 0;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; null when absent or not an object.
+  const Value* Find(std::string_view key) const;
+
+  /// "object", "array", "string", "number", "bool", "null".
+  const char* TypeName() const;
+
+  /// "line 3, column 14" — for error messages that point at this value.
+  std::string Where() const;
+};
+
+/// Parses one JSON document. The entire input must be consumed (trailing
+/// non-whitespace is an error). Errors are InvalidArgument with a
+/// "line L, column C: ..." prefix.
+Result<Value> Parse(std::string_view text);
+
+}  // namespace json
+}  // namespace dipbench
+
+#endif  // DIPBENCH_COMMON_JSON_H_

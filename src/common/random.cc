@@ -23,6 +23,15 @@ double Zeta(uint64_t n, double theta) {
 
 }  // namespace
 
+uint64_t SeedHash(std::string_view name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(&sm);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace dipbench {
@@ -43,6 +44,14 @@ class Rng {
   bool has_spare_gaussian_ = false;
   double spare_gaussian_ = 0.0;
 };
+
+/// FNV-1a hash of a name, for deriving independent PRNG seeds from a
+/// master seed plus a stable string identity (`master ^ SeedHash(name)`).
+/// The per-endpoint fault injectors and the scenario traffic shapes both
+/// fork their streams this way, so adding one named stream never reshuffles
+/// another's draws. The constants are fixed — changing them would reseed
+/// every existing configuration.
+uint64_t SeedHash(std::string_view name);
 
 /// Data distribution selector — the paper's discrete scale factor f.
 enum class Distribution {

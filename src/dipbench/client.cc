@@ -52,8 +52,10 @@ Status Client::DeployProcesses() {
 
 Status Client::SubmitSeries(const std::string& process_id, int k,
                             double t0_ms) {
-  std::vector<double> series = Schedule::SeriesTu(process_id, k,
-                                                  config_.datasize);
+  // The shaped series equals Table II exactly when the config carries no
+  // traffic shape for the process's stream (the compiled-in schedule).
+  std::vector<double> series =
+      Schedule::ShapedSeriesTu(process_id, k, config_);
   for (size_t m = 0; m < series.size(); ++m) {
     core::ProcessEvent ev;
     ev.process_id = process_id;
@@ -89,9 +91,20 @@ Status Client::RunPeriod(int k) {
   // Uninitialize all external systems + initialize the source systems.
   DIP_RETURN_NOT_OK(initializer_.InitializePeriod(k));
 
-  const double d = config_.datasize;
   const double gap = config_.TuToMs(Schedule::kChainGapTu);
   double t0 = engine_->Now() + gap;
+
+  // Last event time of a (shaped) E1 series, for the dependency-driven
+  // time events below. With late-arrival windows the series is no longer
+  // monotone, so take the max rather than the final element; for the
+  // unshaped schedule both are the same double.
+  auto series_end = [&](const std::string& id) {
+    double end = 0.0;
+    for (double t : Schedule::ShapedSeriesTu(id, k, config_)) {
+      end = std::max(end, t);
+    }
+    return end;
+  };
 
   // --- Streams A and B (concurrent) ---
   DIP_RETURN_NOT_OK(SubmitSeries("P01", k, t0));
@@ -110,14 +123,13 @@ Status Client::RunPeriod(int k) {
 
   // tau_1-driven time events, approximated on the schedule axis so they
   // interleave with the message streams.
-  double end_a = std::max(Schedule::SeriesEndTu("P01", k, d),
-                          Schedule::SeriesEndTu("P02", k, d));
+  double end_a = std::max(series_end("P01"), series_end("P02"));
   DIP_RETURN_NOT_OK(single("P03", t0 + config_.TuToMs(end_a) + gap));
-  double end_p04 = Schedule::SeriesEndTu("P04", k, d);
+  double end_p04 = series_end("P04");
   DIP_RETURN_NOT_OK(single("P05", t0 + config_.TuToMs(end_p04) + gap));
   DIP_RETURN_NOT_OK(single("P06", t0 + config_.TuToMs(end_p04) + 2 * gap));
   DIP_RETURN_NOT_OK(single("P07", t0 + config_.TuToMs(end_p04) + 3 * gap));
-  double end_p08 = Schedule::SeriesEndTu("P08", k, d);
+  double end_p08 = series_end("P08");
   DIP_RETURN_NOT_OK(single("P09", t0 + config_.TuToMs(end_p08) + gap));
   uint64_t stream_ab = 0;
   if (rec != nullptr) {
@@ -174,6 +186,10 @@ Result<BenchmarkResult> Client::Run() {
   net::FaultPlan faults = net::FaultPlan::Uniform(config_.fault_rate);
   faults.defaults.spike_rate = config_.fault_spike_rate;
   faults.defaults.spike_ms = config_.TuToMs(config_.fault_spike_tu);
+  // Scenario-manifest fault composition: named outage windows and
+  // error-rate phases compile onto the plan (no-op when the config
+  // declares none).
+  DIP_RETURN_NOT_OK(config_.CompileFaultPlan(&faults));
   scenario_->network()->InstallFaults(faults, config_.seed);
 
   core::RetryPolicy retry;

@@ -2,12 +2,82 @@
 #define DIPBENCH_DIPBENCH_CONFIG_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "src/common/clock.h"
 #include "src/common/random.h"
+#include "src/common/status.h"
 
 namespace dipbench {
+
+namespace net {
+struct FaultPlan;
+}  // namespace net
+
+/// Per-stream traffic shape (scenario manifests, src/scenario): modulates
+/// how many E1 process instances a stream submits per period, as a
+/// deterministic multiplier on the Table II instance count. The identity
+/// shape (steady at scale 1, no late window) reproduces the compiled-in
+/// schedule byte for byte.
+struct TrafficShape {
+  enum class Kind { kSteady, kBurst, kFlashSale, kRamp };
+
+  Kind kind = Kind::kSteady;
+
+  /// Baseline multiplier (all shapes; the steady shape is this constant).
+  double scale = 1.0;
+  /// Peak multiplier of burst and flash-sale periods.
+  double amplitude = 1.0;
+  /// Burst: probability that a given period bursts to `amplitude`. Drawn
+  /// from a PRNG seeded by (master seed, stream, period), so which periods
+  /// burst is a pure function of the config.
+  double burst_probability = 0.0;
+  /// Flash sale: the one spiking period (-1 = middle of the run). Its two
+  /// neighbors ramp at the midpoint between scale and amplitude.
+  int spike_period = -1;
+  /// Ramp: linear multiplier from `scale` (period 0) to `ramp_to` (last).
+  double ramp_to = 1.0;
+
+  /// Late-arriving data window: each instance of the stream is delayed by
+  /// `late_delay_tu` with probability `late_fraction` (seeded per period).
+  double late_fraction = 0.0;
+  double late_delay_tu = 0.0;
+
+  /// The instance-count multiplier for `period` of `periods`, for the
+  /// stream named `stream` under master seed `seed`. Deterministic and
+  /// order-free: the draw depends only on (seed, stream, period).
+  double MultiplierFor(const std::string& stream, int period, int periods,
+                       uint64_t seed) const;
+
+  /// False for the identity shape — the caller can skip shaping entirely
+  /// and stay on the legacy arithmetic.
+  bool enabled() const {
+    return kind != Kind::kSteady || scale != 1.0 ||
+           (late_fraction > 0.0 && late_delay_tu > 0.0);
+  }
+};
+
+/// A named outage window from a scenario manifest, compiled onto the
+/// FaultPlan before the run starts. An empty endpoint targets the plan's
+/// default profile (every endpoint without its own override).
+struct OutageWindow {
+  std::string name;
+  std::string endpoint;
+  uint64_t after_calls = 0;
+  uint64_t calls = 0;
+};
+
+/// A named error-rate phase (see net::FaultPhase) from a scenario
+/// manifest. An empty endpoint targets the default profile.
+struct ErrorPhaseSpec {
+  std::string name;
+  std::string endpoint;
+  uint64_t after_calls = 0;
+  uint64_t calls = 0;
+  double error_rate = 0.0;
+};
 
 /// The three scale factors of the benchmark (paper Section V) plus run
 /// parameters of the toolsuite.
@@ -69,6 +139,46 @@ struct ScaleConfig {
   /// deterministically forked PRNG stream, so the generated data is byte-
   /// identical for ANY value — 1 keeps the fully serial legacy path.
   int datagen_jobs = 1;
+
+  /// --- Scenario-manifest extensions (src/scenario). All default-empty:
+  /// a config that never touches them is byte-identical to earlier builds.
+
+  /// Per-stream traffic shapes, keyed by stream name ("A" = master data
+  /// P01/P02, "B" = movement data P04/P08/P10). Streams C and D are
+  /// single-execution chains and cannot be shaped.
+  std::map<std::string, TrafficShape> traffic;
+
+  /// Named outage windows and error-rate phases, compiled onto the run's
+  /// FaultPlan (see CompileFaultPlan).
+  std::vector<OutageWindow> outages;
+  std::vector<ErrorPhaseSpec> error_phases;
+
+  /// Per-source dirtiness dials: overrides `error_rate` for one seeding
+  /// unit (external database instance: "cdb_db", "eu_berlin_paris",
+  /// "eu_trondheim", "asia_beijing", "asia_seoul", "asia_hongkong",
+  /// "us_chicago", "us_baltimore", "us_madison").
+  std::map<std::string, double> source_error_rates;
+
+  /// The traffic shape of a stream, or null when the stream is unshaped.
+  const TrafficShape* ShapeFor(const std::string& stream) const {
+    auto it = traffic.find(stream);
+    return it == traffic.end() ? nullptr : &it->second;
+  }
+
+  /// The data-error rate of one seeding unit: its dial, else `error_rate`.
+  double ErrorRateFor(const std::string& source) const {
+    auto it = source_error_rates.find(source);
+    return it == source_error_rates.end() ? error_rate : it->second;
+  }
+
+  /// Compiles the declarative outage windows and error-rate phases onto a
+  /// FaultPlan whose base rates (error/spike) are already set. Endpoint-
+  /// scoped entries seed their per-endpoint profile from the plan's
+  /// defaults as they stand on first touch; default-scoped entries apply
+  /// only to endpoints without overrides (FaultPlan's either/or lookup).
+  /// Fails when two outage windows land on the same profile — a
+  /// FaultProfile holds exactly one window.
+  Status CompileFaultPlan(net::FaultPlan* plan) const;
 
   /// Converts schedule time units to virtual milliseconds: 1 tu = 1/t ms.
   VirtualTime TuToMs(double tu) const { return tu / time_scale; }

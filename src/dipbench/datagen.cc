@@ -226,12 +226,15 @@ Status Initializer::SeedCdbReference() {
 }
 
 Status Initializer::SeedCdbMaster(Rng* rng) {
+  // Dirtiness dial of this seeding unit (scenario manifests override the
+  // global error_rate per source).
+  const double error_rate = config_.ErrorRateFor("cdb_db");
   DIP_ASSIGN_OR_RETURN(Database * cdb, scenario_->db("cdb_db"));
   DIP_ASSIGN_OR_RETURN(Table * customer, cdb->GetTable("customer"));
   DIP_ASSIGN_OR_RETURN(Table * product, cdb->GetTable("product"));
   Sizes sizes = SizesForConfig();
   for (int64_t k = 1; k <= sizes.customers; ++k) {
-    bool dirty = rng->NextBool(0.75 * config_.error_rate);  // master-data errors
+    bool dirty = rng->NextBool(0.75 * error_rate);  // master-data errors
     DIP_RETURN_NOT_OK(customer->Insert(
         {Value::Int(k),
          dirty ? Value::String("") : Value::String("Customer#" +
@@ -241,7 +244,7 @@ Status Initializer::SeedCdbMaster(Rng* rng) {
          Value::Bool(dirty), Value::Bool(false)}));
   }
   for (int64_t p = 1; p <= sizes.products; ++p) {
-    bool dirty = rng->NextBool(0.5 * config_.error_rate);
+    bool dirty = rng->NextBool(0.5 * error_rate);
     DIP_RETURN_NOT_OK(product->Insert(
         {Value::Int(p),
          dirty ? Value::String("") : Value::String("Product#" +
@@ -254,6 +257,7 @@ Status Initializer::SeedCdbMaster(Rng* rng) {
 
 Status Initializer::SeedEuropeDb(const std::string& db_name, int period,
                                  Rng* rng) {
+  const double error_rate = config_.ErrorRateFor(db_name);
   DIP_ASSIGN_OR_RETURN(Database * db, scenario_->db(db_name));
   Sizes sizes = SizesForConfig();
 
@@ -308,7 +312,7 @@ Status Initializer::SeedEuropeDb(const std::string& db_name, int period,
                                   std::max<int64_t>(1, eu_customer_count));
       if (kdnr > sizes.customers) kdnr = 3;
       // Unrepairable reference errors: orders naming unknown customers.
-      if (rng->NextBool(0.4 * config_.error_rate)) {
+      if (rng->NextBool(0.4 * error_rate)) {
         kdnr = sizes.customers + 100 + i;
       }
       const char* status = i % 7 == 0 ? "STORNO" : "GELIEFERT";
@@ -320,7 +324,7 @@ Status Initializer::SeedEuropeDb(const std::string& db_name, int period,
       for (int64_t pos = 1; pos <= n_lines; ++pos) {
         int64_t pnr = 1 + static_cast<int64_t>(prod_sampler.Sample()) %
                               sizes.products;
-        bool dirty = rng->NextBool(config_.error_rate);  // movement errors
+        bool dirty = rng->NextBool(error_rate);  // movement errors
         DIP_RETURN_NOT_OK(position->Insert(
             {Value::Int(anr), Value::Int(pos), Value::Int(pnr),
              Value::Int(dirty ? -1 : 1 + static_cast<int64_t>(pos * 2)),
@@ -333,6 +337,7 @@ Status Initializer::SeedEuropeDb(const std::string& db_name, int period,
 
 Status Initializer::SeedAsiaService(const std::string& service, int source_id,
                                     int period, Rng* rng) {
+  const double error_rate = config_.ErrorRateFor(service);
   Sizes sizes = SizesForConfig();
   int64_t asia_customer_count = (sizes.customers + 1) / 3;
   DIP_ASSIGN_OR_RETURN(Database * db, scenario_->db(service));
@@ -392,12 +397,12 @@ Status Initializer::SeedAsiaService(const std::string& service, int source_id,
       orderkey = OrderKey(period, source_id, i);
       custkey = 1 + 3 * (static_cast<int64_t>(cust_sampler.Sample()) %
                          std::max<int64_t>(1, asia_customer_count));
-      if (rng->NextBool(0.4 * config_.error_rate)) {
+      if (rng->NextBool(0.4 * error_rate)) {
         custkey = sizes.customers + 300 + i;  // unrepairable reference
       }
       prodkey =
           1 + static_cast<int64_t>(prod_sampler.Sample()) % sizes.products;
-      bool dirty = rng->NextBool(config_.error_rate);
+      bool dirty = rng->NextBool(error_rate);
       qty = dirty ? 0 : 1 + static_cast<int64_t>(i % 5);
       odate = OrderDate(period, i);
     }
@@ -415,6 +420,7 @@ Status Initializer::SeedAsiaService(const std::string& service, int source_id,
 
 Status Initializer::SeedAmericaSource(const std::string& source,
                                       int source_id, int period, Rng* rng) {
+  const double error_rate = config_.ErrorRateFor(source);
   Sizes sizes = SizesForConfig();
   int64_t us_customer_count = (sizes.customers + 2) / 3;
   DIP_ASSIGN_OR_RETURN(Database * db, scenario_->db(source));
@@ -450,7 +456,7 @@ Status Initializer::SeedAmericaSource(const std::string& source,
     int64_t ckey = 2 + 3 * (static_cast<int64_t>(cust_sampler.Sample()) %
                             std::max<int64_t>(1, us_customer_count));
     if (ckey > sizes.customers) ckey = 2;
-    if (rng->NextBool(0.4 * config_.error_rate)) {
+    if (rng->NextBool(0.4 * error_rate)) {
       ckey = sizes.customers + 200 + i;  // unrepairable reference error
     }
     DIP_RETURN_NOT_OK(orders->Insert(
@@ -461,7 +467,7 @@ Status Initializer::SeedAmericaSource(const std::string& source,
     for (int64_t ln = 1; ln <= n_lines; ++ln) {
       int64_t pkey =
           1 + static_cast<int64_t>(prod_sampler.Sample()) % sizes.products;
-      bool dirty = rng->NextBool(config_.error_rate);
+      bool dirty = rng->NextBool(error_rate);
       DIP_RETURN_NOT_OK(lineitem->Insert(
           {Value::Int(okey), Value::Int(ln), Value::Int(pkey),
            Value::Int(dirty ? -2 : 1 + static_cast<int64_t>(ln * 3)),

@@ -32,8 +32,26 @@ class Schedule {
   static std::vector<double> SeriesTu(const std::string& process_id, int k,
                                       double d);
 
+  /// Event times for the first `n` instances of an E1 series — the Table II
+  /// cadence continued to an arbitrary count (scenario traffic shapes
+  /// stretch or shrink a series without changing its rhythm).
+  static std::vector<double> SeriesTuN(const std::string& process_id, int n);
+
   /// Last event time of the series (0 when the series is empty).
   static double SeriesEndTu(const std::string& process_id, int k, double d);
+
+  /// The stream owning a process type: "A" (P01-P03 master data), "B"
+  /// (P04-P11 movement data), "C" (P12/P13), "D" (P14/P15); "" when
+  /// unknown. Scenario traffic shapes are keyed by these names.
+  static const char* StreamOf(const std::string& process_id);
+
+  /// The manifest-aware series: applies the config's traffic shape for the
+  /// process's stream — instance-count modulation for period k, then the
+  /// late-arrival window (seeded per (seed, process, period)). A config
+  /// without scenario extensions returns SeriesTu unchanged, value for
+  /// value.
+  static std::vector<double> ShapedSeriesTu(const std::string& process_id,
+                                            int k, const ScaleConfig& config);
 
   /// The fixed offset Table II adds between dependency-triggered time
   /// events when approximated on the schedule axis.

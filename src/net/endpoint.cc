@@ -1,5 +1,6 @@
 #include "src/net/endpoint.h"
 
+#include "src/common/random.h"
 #include "src/xml/bridge.h"
 #include "src/xml/parser.h"
 
@@ -232,22 +233,6 @@ Result<Endpoint*> Network::Get(const std::string& name) {
   return it->second.get();
 }
 
-namespace {
-
-/// Stable cross-platform string hash (FNV-1a) for per-endpoint seed
-/// derivation — std::hash is implementation-defined and would break the
-/// "same seed, same faults everywhere" guarantee.
-uint64_t Fnv1a(const std::string& s) {
-  uint64_t h = 1469598103934665603ULL;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-}  // namespace
-
 void Network::InstallFaults(const FaultPlan& plan, uint64_t seed) {
   for (auto& [name, ep] : endpoints_) {
     const FaultProfile& profile = plan.ProfileFor(name);
@@ -256,9 +241,11 @@ void Network::InstallFaults(const FaultPlan& plan, uint64_t seed) {
       continue;
     }
     // Seed = f(master seed, endpoint name): independent streams that stay
-    // put when endpoints are added or removed.
+    // put when endpoints are added or removed. SeedHash is FNV-1a —
+    // std::hash is implementation-defined and would break the "same seed,
+    // same faults everywhere" guarantee.
     ep->SetFaultInjector(std::make_unique<FaultInjector>(
-        profile, seed ^ Fnv1a(name), name));
+        profile, seed ^ SeedHash(name), name));
   }
 }
 

@@ -10,12 +10,12 @@ Status FaultInjector::OnCall(NetStats* stats, const obs::ObsContext& obs) {
 
   bool fail = false;
   const char* kind = "";
+  const double error_rate = profile_.ErrorRateAt(call);
   if (profile_.outage_calls > 0 && call >= profile_.outage_after_calls &&
       call < profile_.outage_after_calls + profile_.outage_calls) {
     fail = true;
     kind = "outage";
-  } else if (profile_.error_rate > 0.0 &&
-             rng_.NextDouble() < profile_.error_rate) {
+  } else if (error_rate > 0.0 && rng_.NextDouble() < error_rate) {
     fail = true;
     kind = "error";
   }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/common/random.h"
 #include "src/common/status.h"
@@ -12,6 +13,18 @@
 
 namespace dipbench {
 namespace net {
+
+/// One error-rate phase: calls with 0-based index in
+/// [after_calls, after_calls + calls) fail with `error_rate` *instead of*
+/// the profile's base rate. Scenario manifests compile "degraded for a
+/// while, then healthy" stories into these; phases are checked in order and
+/// the last matching phase wins, so later entries can carve refinements out
+/// of earlier ones.
+struct FaultPhase {
+  uint64_t after_calls = 0;
+  uint64_t calls = 0;
+  double error_rate = 0.0;
+};
 
 /// Fault characteristics of one endpoint. All probabilities are per
 /// endpoint *call* (one Query/Update/SendMessage/CallProcedure counts as
@@ -35,9 +48,33 @@ struct FaultProfile {
   uint64_t outage_after_calls = 0;
   uint64_t outage_calls = 0;
 
+  /// Error-rate phases (see FaultPhase). Determinism note: a call consumes
+  /// an error-rate PRNG draw exactly when its *active* rate is > 0, so a
+  /// phase that silences a noisy endpoint also pauses its draw stream —
+  /// the contract stays "bytes are a pure function of the profile".
+  std::vector<FaultPhase> phases;
+
+  /// The error rate in force for the given 0-based call index.
+  double ErrorRateAt(uint64_t call) const {
+    double rate = error_rate;
+    for (const FaultPhase& phase : phases) {
+      if (phase.calls > 0 && call >= phase.after_calls &&
+          call < phase.after_calls + phase.calls) {
+        rate = phase.error_rate;
+      }
+    }
+    return rate;
+  }
+
   bool enabled() const {
-    return error_rate > 0.0 || (spike_rate > 0.0 && spike_ms > 0.0) ||
-           outage_calls > 0;
+    if (error_rate > 0.0 || (spike_rate > 0.0 && spike_ms > 0.0) ||
+        outage_calls > 0) {
+      return true;
+    }
+    for (const FaultPhase& phase : phases) {
+      if (phase.error_rate > 0.0 && phase.calls > 0) return true;
+    }
+    return false;
   }
 };
 

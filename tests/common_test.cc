@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/common/clock.h"
+#include "src/common/flags.h"
 #include "src/common/logging.h"
 #include "src/common/random.h"
 #include "src/common/result.h"
@@ -266,5 +267,61 @@ TEST(LoggingTest, LevelRoundTrip) {
   Logger::SetLevel(prev);
 }
 
+TEST(SeedHashTest, MatchesFnv1aAndSeparatesNames) {
+  // FNV-1a with the canonical 64-bit constants; the endpoint fault
+  // injectors and traffic shapes both key their PRNG forks off it, so the
+  // constants are part of the byte-identity contract.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : std::string("berlin")) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  EXPECT_EQ(SeedHash("berlin"), h);
+  EXPECT_NE(SeedHash("berlin"), SeedHash("paris"));
+  EXPECT_EQ(SeedHash(""), 1469598103934665603ULL);
+}
+
+TEST(FlagSetTest, ParsesDefinedFlags) {
+  flags::FlagSet flags("prog");
+  flags.Define("jobs", "n").Define("out", "path").Define("verbose", "bool");
+  const char* argv[] = {"prog", "--jobs=4", "--out=x.json", "--verbose"};
+  ASSERT_TRUE(flags.Parse(4, const_cast<char**>(argv)).ok());
+  EXPECT_TRUE(flags.Has("jobs"));
+  EXPECT_EQ(flags.Get("out"), "x.json");
+  EXPECT_TRUE(flags.Has("verbose"));
+  EXPECT_FALSE(flags.Has("missing"));
+  EXPECT_EQ(flags.Get("missing", "fallback"), "fallback");
+  Result<int> jobs = flags.GetInt("jobs", 0);
+  ASSERT_TRUE(jobs.ok());
+  EXPECT_EQ(*jobs, 4);
+  EXPECT_EQ(*flags.GetInt("absent", 7), 7);
+}
+
+TEST(FlagSetTest, RejectsUnknownFlagsAndPositionals) {
+  flags::FlagSet flags("prog");
+  flags.Define("jobs", "n");
+  const char* unknown[] = {"prog", "--jbos=4"};
+  Status st = flags.Parse(2, const_cast<char**>(unknown));
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("--jbos"), std::string::npos);
+
+  flags::FlagSet flags2("prog");
+  flags2.Define("jobs", "n");
+  const char* positional[] = {"prog", "stray"};
+  EXPECT_FALSE(flags2.Parse(2, const_cast<char**>(positional)).ok());
+}
+
+TEST(FlagSetTest, NumericGettersValidateTheWholeValue) {
+  flags::FlagSet flags("prog");
+  flags.Define("jobs", "n").Define("rate", "q");
+  const char* argv[] = {"prog", "--jobs=4x", "--rate=0.5"};
+  ASSERT_TRUE(flags.Parse(3, const_cast<char**>(argv)).ok());
+  Status bad = flags.GetInt("jobs", 0).status();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.message().find("jobs"), std::string::npos);
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("rate", 0.0), 0.5);
+}
+
 }  // namespace
 }  // namespace dipbench
+

@@ -1,0 +1,125 @@
+#include "src/common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dipbench {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(json::Parse("null")->is_null());
+  EXPECT_TRUE(json::Parse("true")->bool_value);
+  EXPECT_FALSE(json::Parse("false")->bool_value);
+  EXPECT_DOUBLE_EQ(json::Parse("42")->number_value, 42.0);
+  EXPECT_DOUBLE_EQ(json::Parse("-0.5e2")->number_value, -50.0);
+  EXPECT_EQ(json::Parse("\"hi\"")->string_value, "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructure) {
+  auto v = json::Parse(R"({
+    "name": "x",
+    "values": [1, 2, 3],
+    "nested": {"deep": true}
+  })");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_object());
+  EXPECT_EQ(v->Find("name")->string_value, "x");
+  ASSERT_EQ(v->Find("values")->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(v->Find("values")->items[1].number_value, 2.0);
+  EXPECT_TRUE(v->Find("nested")->Find("deep")->bool_value);
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, PreservesMemberOrder) {
+  auto v = json::Parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->members.size(), 3u);
+  EXPECT_EQ(v->members[0].first, "z");
+  EXPECT_EQ(v->members[1].first, "a");
+  EXPECT_EQ(v->members[2].first, "m");
+}
+
+TEST(JsonTest, StringEscapes) {
+  auto v = json::Parse(R"("a\"b\\c\ndAé")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value, "a\"b\\c\ndA\xc3\xa9");
+}
+
+TEST(JsonTest, SurrogatePairCombines) {
+  auto v = json::Parse(R"("😀")");  // U+1F600
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value, "\xf0\x9f\x98\x80");
+  EXPECT_EQ(json::Parse(R"("\uD83D\uDE00")")->string_value,
+            "\xf0\x9f\x98\x80");
+  EXPECT_FALSE(json::Parse(R"("\uD83D")").ok());   // unpaired high
+  EXPECT_FALSE(json::Parse(R"("\uDE00")").ok());   // unpaired low
+}
+
+TEST(JsonTest, ErrorsCarryLineAndColumn) {
+  // The stray token sits on line 3, column 14 — the message must say so.
+  auto v = json::Parse("{\n  \"a\": 1,\n  \"b\":       !\n}");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("line 3"), std::string::npos)
+      << v.status().ToString();
+  EXPECT_NE(v.status().message().find("column 14"), std::string::npos)
+      << v.status().ToString();
+}
+
+TEST(JsonTest, UnterminatedStringPointsAtOpeningQuote) {
+  auto v = json::Parse("{\"key\": \"never closed");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(JsonTest, DuplicateKeyIsAnError) {
+  auto v = json::Parse("{\"a\": 1,\n \"a\": 2}");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("duplicate"), std::string::npos)
+      << v.status().ToString();
+  EXPECT_NE(v.status().message().find("line 2"), std::string::npos)
+      << v.status().ToString();
+}
+
+TEST(JsonTest, TrailingContentIsAnError) {
+  auto v = json::Parse("{} {}");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("column 4"), std::string::npos)
+      << v.status().ToString();
+}
+
+TEST(JsonTest, RejectsRfc8259NumberDeviations) {
+  EXPECT_FALSE(json::Parse("01").ok());     // leading zero
+  EXPECT_FALSE(json::Parse("1.").ok());     // empty fraction
+  EXPECT_FALSE(json::Parse("1e").ok());     // empty exponent
+  EXPECT_FALSE(json::Parse("+1").ok());     // leading plus
+  EXPECT_FALSE(json::Parse(".5").ok());     // missing integer part
+  EXPECT_TRUE(json::Parse("0.5e+10").ok());
+}
+
+TEST(JsonTest, RejectsTrailingCommasAndBareWords) {
+  EXPECT_FALSE(json::Parse("[1, 2,]").ok());
+  EXPECT_FALSE(json::Parse("{\"a\": 1,}").ok());
+  EXPECT_FALSE(json::Parse("{a: 1}").ok());
+  EXPECT_FALSE(json::Parse("'single'").ok());
+}
+
+TEST(JsonTest, DepthLimitStopsRunawayNesting) {
+  std::string deep(200, '[');
+  auto v = json::Parse(deep);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("nesting"), std::string::npos)
+      << v.status().ToString();
+}
+
+TEST(JsonTest, ValuesKnowWhereTheyStarted) {
+  auto v = json::Parse("{\n  \"a\": [10, 20]\n}");
+  ASSERT_TRUE(v.ok());
+  const json::Value* arr = v->Find("a");
+  ASSERT_NE(arr, nullptr);
+  EXPECT_EQ(arr->line, 2);
+  EXPECT_EQ(arr->items[1].Where(), "line 2, column 13");
+}
+
+}  // namespace
+}  // namespace dipbench

@@ -1,0 +1,470 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/dipbench/config.h"
+#include "src/dipbench/schedule.h"
+#include "src/harness/harness.h"
+#include "src/net/fault.h"
+#include "src/scenario/manager.h"
+#include "src/scenario/manifest.h"
+
+namespace dipbench {
+namespace {
+
+using scenario::ScenarioManifest;
+using scenario::ScenarioManager;
+
+// ---------------------------------------------------------------------------
+// TrafficShape units
+
+TEST(TrafficShapeTest, SteadyIsAConstantMultiplier) {
+  TrafficShape shape;
+  shape.scale = 1.5;
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_DOUBLE_EQ(shape.MultiplierFor("A", k, 5, 7), 1.5);
+  }
+  EXPECT_TRUE(shape.enabled());
+  EXPECT_FALSE(TrafficShape{}.enabled());
+}
+
+TEST(TrafficShapeTest, FlashSaleSpikesTheMiddlePeriodWithShoulders) {
+  TrafficShape shape;
+  shape.kind = TrafficShape::Kind::kFlashSale;
+  shape.amplitude = 3.0;
+  // periods = 10, default spike period = 5.
+  EXPECT_DOUBLE_EQ(shape.MultiplierFor("B", 5, 10, 7), 3.0);
+  EXPECT_DOUBLE_EQ(shape.MultiplierFor("B", 4, 10, 7), 2.0);
+  EXPECT_DOUBLE_EQ(shape.MultiplierFor("B", 6, 10, 7), 2.0);
+  EXPECT_DOUBLE_EQ(shape.MultiplierFor("B", 0, 10, 7), 1.0);
+  shape.spike_period = 1;
+  EXPECT_DOUBLE_EQ(shape.MultiplierFor("B", 1, 10, 7), 3.0);
+  EXPECT_DOUBLE_EQ(shape.MultiplierFor("B", 5, 10, 7), 1.0);
+}
+
+TEST(TrafficShapeTest, RampInterpolatesLinearly) {
+  TrafficShape shape;
+  shape.kind = TrafficShape::Kind::kRamp;
+  shape.ramp_to = 3.0;
+  EXPECT_DOUBLE_EQ(shape.MultiplierFor("A", 0, 5, 7), 1.0);
+  EXPECT_DOUBLE_EQ(shape.MultiplierFor("A", 2, 5, 7), 2.0);
+  EXPECT_DOUBLE_EQ(shape.MultiplierFor("A", 4, 5, 7), 3.0);
+  EXPECT_DOUBLE_EQ(shape.MultiplierFor("A", 0, 1, 7), 3.0);
+}
+
+TEST(TrafficShapeTest, BurstDrawIsAPureFunctionOfSeedStreamPeriod) {
+  TrafficShape shape;
+  shape.kind = TrafficShape::Kind::kBurst;
+  shape.amplitude = 4.0;
+  shape.burst_probability = 0.5;
+  for (int k = 0; k < 8; ++k) {
+    double first = shape.MultiplierFor("B", k, 8, 20080412);
+    EXPECT_DOUBLE_EQ(first, shape.MultiplierFor("B", k, 8, 20080412));
+    EXPECT_TRUE(first == 1.0 || first == 4.0);
+  }
+  // Guaranteed burst / guaranteed calm at the probability extremes.
+  shape.burst_probability = 1.0;
+  EXPECT_DOUBLE_EQ(shape.MultiplierFor("B", 3, 8, 1), 4.0);
+  shape.burst_probability = 0.0;
+  EXPECT_DOUBLE_EQ(shape.MultiplierFor("B", 3, 8, 1), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// ShapedSeriesTu
+
+TEST(ShapedSeriesTest, NoTrafficShapeReproducesTableTwoExactly) {
+  ScaleConfig config;
+  for (const char* id : {"P01", "P02", "P04", "P08", "P10"}) {
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_EQ(Schedule::ShapedSeriesTu(id, k, config),
+                Schedule::SeriesTu(id, k, config.datasize))
+          << id << " period " << k;
+    }
+  }
+}
+
+TEST(ShapedSeriesTest, ScaleMultipliesTheInstanceCount) {
+  ScaleConfig config;
+  config.traffic["B"].scale = 2.0;
+  int n = Schedule::InstanceCount("P04", 0, config.datasize);
+  EXPECT_EQ(Schedule::ShapedSeriesTu("P04", 0, config).size(),
+            static_cast<size_t>(2 * n));
+  // Stream A is untouched.
+  EXPECT_EQ(Schedule::ShapedSeriesTu("P01", 0, config),
+            Schedule::SeriesTu("P01", 0, config.datasize));
+}
+
+TEST(ShapedSeriesTest, LateWindowShiftsInstancesByTheDelay) {
+  ScaleConfig config;
+  config.traffic["A"].late_fraction = 1.0;  // everyone is late
+  config.traffic["A"].late_delay_tu = 50.0;
+  std::vector<double> base = Schedule::SeriesTu("P01", 0, config.datasize);
+  std::vector<double> late = Schedule::ShapedSeriesTu("P01", 0, config);
+  ASSERT_EQ(base.size(), late.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_DOUBLE_EQ(late[i], base[i] + 50.0);
+  }
+}
+
+TEST(ShapedSeriesTest, StreamsMapToTheRightProcesses) {
+  EXPECT_STREQ(Schedule::StreamOf("P01"), "A");
+  EXPECT_STREQ(Schedule::StreamOf("P03"), "A");
+  EXPECT_STREQ(Schedule::StreamOf("P08"), "B");
+  EXPECT_STREQ(Schedule::StreamOf("P11"), "B");
+  EXPECT_STREQ(Schedule::StreamOf("P12"), "C");
+  EXPECT_STREQ(Schedule::StreamOf("P15"), "D");
+  EXPECT_STREQ(Schedule::StreamOf("P99"), "");
+}
+
+// ---------------------------------------------------------------------------
+// Fault composition
+
+TEST(FaultPhaseTest, ErrorRateAtFollowsTheActivePhase) {
+  net::FaultProfile profile;
+  profile.error_rate = 0.1;
+  profile.phases.push_back(net::FaultPhase{10, 5, 0.5});
+  EXPECT_DOUBLE_EQ(profile.ErrorRateAt(9), 0.1);
+  EXPECT_DOUBLE_EQ(profile.ErrorRateAt(10), 0.5);
+  EXPECT_DOUBLE_EQ(profile.ErrorRateAt(14), 0.5);
+  EXPECT_DOUBLE_EQ(profile.ErrorRateAt(15), 0.1);
+  // Later phases win on overlap.
+  profile.phases.push_back(net::FaultPhase{12, 2, 0.9});
+  EXPECT_DOUBLE_EQ(profile.ErrorRateAt(13), 0.9);
+  EXPECT_DOUBLE_EQ(profile.ErrorRateAt(14), 0.5);
+}
+
+TEST(CompileFaultPlanTest, EndpointOutageLandsOnItsProfileOnly) {
+  ScaleConfig config;
+  config.outages.push_back(OutageWindow{"blackout", "hongkong", 60, 40});
+  net::FaultPlan plan = net::FaultPlan::Uniform(0.01);
+  ASSERT_TRUE(config.CompileFaultPlan(&plan).ok());
+  ASSERT_EQ(plan.per_endpoint.count("hongkong"), 1u);
+  EXPECT_EQ(plan.per_endpoint.at("hongkong").outage_after_calls, 60u);
+  EXPECT_EQ(plan.per_endpoint.at("hongkong").outage_calls, 40u);
+  // Seeded from the defaults' base rates.
+  EXPECT_DOUBLE_EQ(plan.per_endpoint.at("hongkong").error_rate, 0.01);
+  EXPECT_EQ(plan.defaults.outage_calls, 0u);
+}
+
+TEST(CompileFaultPlanTest, TwoOutagesOnOneProfileAreRejected) {
+  ScaleConfig config;
+  config.outages.push_back(OutageWindow{"first", "cdb", 0, 10});
+  config.outages.push_back(OutageWindow{"second", "cdb", 50, 10});
+  net::FaultPlan plan;
+  Status st = config.CompileFaultPlan(&plan);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("second"), std::string::npos);
+  EXPECT_NE(st.message().find("already has an outage window"),
+            std::string::npos);
+}
+
+TEST(CompileFaultPlanTest, DefaultScopedPhaseDoesNotLeakIntoOverrides) {
+  ScaleConfig config;
+  config.error_phases.push_back(ErrorPhaseSpec{"brownout", "", 0, 100, 0.3});
+  config.outages.push_back(OutageWindow{"blackout", "dwh", 10, 5});
+  net::FaultPlan plan;
+  ASSERT_TRUE(config.CompileFaultPlan(&plan).ok());
+  // The default profile got the phase; the dwh override was seeded from
+  // the base snapshot (no phases), because FaultPlan lookup is either/or.
+  EXPECT_EQ(plan.defaults.phases.size(), 1u);
+  EXPECT_TRUE(plan.per_endpoint.at("dwh").phases.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Manifest parsing
+
+constexpr char kFullManifest[] = R"({
+  "name": "everything",
+  "description": "exercises every schema corner",
+  "engines": ["federated", "dataflow"],
+  "config": {
+    "datasize": 0.1,
+    "time_scale": 2.0,
+    "distribution": "zipf",
+    "error_rate": 0.08,
+    "periods": 4,
+    "seed": 99,
+    "worker_slots": 2,
+    "retry_max_attempts": 4,
+    "retry_backoff_tu": 1.5,
+    "retry_dead_letter": true
+  },
+  "traffic": {
+    "A": {"shape": "ramp", "ramp_to": 2.0},
+    "B": {"shape": "burst", "amplitude": 3.0, "burst_probability": 0.25,
+          "late_fraction": 0.1, "late_delay_tu": 25.0}
+  },
+  "faults": {
+    "outages": [{"name": "o1", "endpoint": "hongkong", "after_calls": 6,
+                 "calls": 12}],
+    "phases": [{"name": "p1", "after_calls": 100, "calls": 50,
+                "error_rate": 0.2}]
+  },
+  "dirtiness": {"us_madison": 0.5},
+  "sweep": {"field": "time_scale", "values": [1, 2]}
+})";
+
+TEST(ManifestTest, RoundTripsEveryField) {
+  auto m = ScenarioManifest::FromJsonText(kFullManifest, "<test>");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->name, "everything");
+  EXPECT_EQ(m->engines, (std::vector<std::string>{"federated", "dataflow"}));
+  EXPECT_DOUBLE_EQ(m->config.datasize, 0.1);
+  EXPECT_EQ(m->config.distribution, Distribution::kZipf);
+  EXPECT_EQ(m->config.periods, 4);
+  EXPECT_EQ(m->config.seed, 99u);
+  EXPECT_EQ(m->config.retry_max_attempts, 4);
+  ASSERT_EQ(m->config.traffic.count("A"), 1u);
+  EXPECT_EQ(m->config.traffic.at("A").kind, TrafficShape::Kind::kRamp);
+  EXPECT_DOUBLE_EQ(m->config.traffic.at("B").late_delay_tu, 25.0);
+  ASSERT_EQ(m->config.outages.size(), 1u);
+  EXPECT_EQ(m->config.outages[0].endpoint, "hongkong");
+  ASSERT_EQ(m->config.error_phases.size(), 1u);
+  EXPECT_EQ(m->config.error_phases[0].endpoint, "");
+  EXPECT_DOUBLE_EQ(m->config.ErrorRateFor("us_madison"), 0.5);
+  EXPECT_DOUBLE_EQ(m->config.ErrorRateFor("cdb_db"), 0.08);
+  EXPECT_EQ(m->sweep_field, "time_scale");
+  EXPECT_EQ(m->sweep_values, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(ManifestTest, ExpandCrossesEnginesWithSweepValues) {
+  auto m = ScenarioManifest::FromJsonText(kFullManifest, "<test>");
+  ASSERT_TRUE(m.ok());
+  std::vector<harness::RunSpec> specs = m->Expand();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].label, "everything/federated time_scale=1");
+  EXPECT_EQ(specs[0].engine, "federated");
+  EXPECT_DOUBLE_EQ(specs[0].config.time_scale, 1.0);
+  EXPECT_EQ(specs[1].label, "everything/federated time_scale=2");
+  EXPECT_EQ(specs[3].label, "everything/dataflow time_scale=2");
+  EXPECT_EQ(specs[3].engine, "dataflow");
+  // Everything else carries over untouched.
+  EXPECT_DOUBLE_EQ(specs[3].config.datasize, 0.1);
+  EXPECT_EQ(specs[3].config.outages.size(), 1u);
+}
+
+TEST(ManifestTest, UnknownKeysAreRejectedWithPosition) {
+  auto m = ScenarioManifest::FromJsonText(
+      "{\"name\": \"x\",\n \"confg\": {}}", "bad.json");
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("bad.json"), std::string::npos);
+  EXPECT_NE(m.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(m.status().message().find("unknown manifest key 'confg'"),
+            std::string::npos)
+      << m.status().ToString();
+}
+
+TEST(ManifestTest, RejectsSchemaViolations) {
+  // Missing name.
+  EXPECT_FALSE(ScenarioManifest::FromJsonText("{}", "<t>").ok());
+  // Unknown engine.
+  EXPECT_FALSE(ScenarioManifest::FromJsonText(
+                   R"({"name": "x", "engine": "quantum"})", "<t>")
+                   .ok());
+  // Stream C cannot be shaped.
+  EXPECT_FALSE(ScenarioManifest::FromJsonText(
+                   R"({"name": "x", "traffic": {"C": {}}})", "<t>")
+                   .ok());
+  // Probability out of range.
+  EXPECT_FALSE(ScenarioManifest::FromJsonText(
+                   R"({"name": "x", "config": {"error_rate": 1.5}})", "<t>")
+                   .ok());
+  // Non-integer periods.
+  EXPECT_FALSE(ScenarioManifest::FromJsonText(
+                   R"({"name": "x", "config": {"periods": 2.5}})", "<t>")
+                   .ok());
+  // Outage without calls.
+  EXPECT_FALSE(
+      ScenarioManifest::FromJsonText(
+          R"({"name": "x", "faults": {"outages": [{"name": "o"}]}})", "<t>")
+          .ok());
+  // Unknown sweep field.
+  auto bad_sweep = ScenarioManifest::FromJsonText(
+      R"({"name": "x", "sweep": {"field": "warp", "values": [1]}})", "<t>");
+  ASSERT_FALSE(bad_sweep.ok());
+  EXPECT_NE(bad_sweep.status().message().find("unknown sweep field"),
+            std::string::npos);
+  // Two outage windows on one endpoint fail at load, not at run.
+  auto double_outage = ScenarioManifest::FromJsonText(
+      R"({"name": "x", "faults": {"outages": [
+            {"name": "a", "endpoint": "cdb", "calls": 5},
+            {"name": "b", "endpoint": "cdb", "calls": 5}]}})",
+      "<t>");
+  ASSERT_FALSE(double_outage.ok());
+  EXPECT_NE(double_outage.status().message().find("already has an outage"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Manager: loading, uniqueness, landscape validation
+
+class ManagerTest : public ::testing::Test {
+ protected:
+  void Write(const std::string& file, const std::string& text) {
+    std::ofstream out(dir_ / file);
+    out << text;
+  }
+  std::string Dir() const { return dir_.string(); }
+
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("scenario_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ManagerTest, LoadsDirectoryInSortedOrder) {
+  Write("b.json", R"({"name": "bee"})");
+  Write("a.json", R"({"name": "ay"})");
+  Write("notes.txt", "not a manifest");
+  ScenarioManager manager;
+  ASSERT_TRUE(manager.LoadDirectory(Dir()).ok());
+  ASSERT_EQ(manager.manifests().size(), 2u);
+  EXPECT_EQ(manager.manifests()[0].name, "ay");
+  EXPECT_EQ(manager.manifests()[1].name, "bee");
+}
+
+TEST_F(ManagerTest, RejectsDuplicateManifestNames) {
+  Write("a.json", R"({"name": "same"})");
+  Write("b.json", R"({"name": "same"})");
+  ScenarioManager manager;
+  Status st = manager.LoadDirectory(Dir());
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("same"), std::string::npos);
+}
+
+TEST_F(ManagerTest, LoadErrorsNameTheFile) {
+  Write("broken.json", "{\"name\": \"x\",}");
+  ScenarioManager manager;
+  Status st = manager.LoadDirectory(Dir());
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("broken.json"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(ManagerTest, LandscapeValidationCatchesUnknownNames) {
+  Write("bad_endpoint.json",
+        R"({"name": "x", "faults": {"outages": [
+              {"name": "o", "endpoint": "atlantis", "calls": 5}]}})");
+  ScenarioManager manager;
+  ASSERT_TRUE(manager.LoadDirectory(Dir()).ok());
+  Status st = manager.ValidateLandscape();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("atlantis"), std::string::npos);
+}
+
+TEST_F(ManagerTest, LandscapeValidationAcceptsRealNames) {
+  Write("good.json",
+        R"({"name": "x",
+            "faults": {"outages": [
+              {"name": "o", "endpoint": "hongkong", "calls": 5}],
+              "phases": [{"name": "p", "endpoint": "dwh", "calls": 5,
+                          "error_rate": 0.1}]},
+            "dirtiness": {"us_madison": 0.2, "cdb_db": 0.0}})");
+  ScenarioManager manager;
+  ASSERT_TRUE(manager.LoadDirectory(Dir()).ok());
+  EXPECT_TRUE(manager.ValidateLandscape().ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism contracts
+
+TEST(ScenarioDeterminismTest, BaselineManifestReproducesCompiledSchedule) {
+  // The schema equivalent of examples/scenarios/paper_baseline.json at a
+  // test-sized period count: spelling out the ScaleConfig defaults must
+  // reproduce a config that never saw the manifest layer, byte for byte.
+  auto m = ScenarioManifest::FromJsonText(R"({
+    "name": "paper-baseline",
+    "engine": "federated",
+    "config": {"datasize": 0.05, "time_scale": 1.0,
+               "distribution": "uniform", "error_rate": 0.04,
+               "periods": 2, "seed": 20080412, "worker_slots": 4}
+  })", "<test>");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  std::vector<harness::RunSpec> specs = m->Expand();
+  ASSERT_EQ(specs.size(), 1u);
+
+  harness::RunSpec reference;
+  reference.config.periods = 2;
+
+  harness::RunOutcome from_manifest =
+      harness::RunnerPool::ExecuteOne(specs[0]);
+  harness::RunOutcome compiled = harness::RunnerPool::ExecuteOne(reference);
+  ASSERT_TRUE(from_manifest.ok) << from_manifest.error;
+  ASSERT_TRUE(compiled.ok) << compiled.error;
+  EXPECT_FALSE(from_manifest.monitor_csv.empty());
+  EXPECT_EQ(from_manifest.monitor_csv, compiled.monitor_csv);
+}
+
+TEST(ScenarioDeterminismTest, BurstManifestIsStableAcrossRepeatsAndJobs) {
+  auto m = ScenarioManifest::FromJsonText(R"({
+    "name": "bursty",
+    "config": {"periods": 2, "datasize": 0.02},
+    "traffic": {"B": {"shape": "burst", "amplitude": 2.0,
+                      "burst_probability": 1.0,
+                      "late_fraction": 0.2, "late_delay_tu": 40.0}}
+  })", "<test>");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  std::vector<harness::RunSpec> specs = m->Expand();
+  ASSERT_EQ(specs.size(), 1u);
+
+  // Repeat determinism: two fresh executions, identical bytes.
+  harness::RunOutcome first = harness::RunnerPool::ExecuteOne(specs[0]);
+  harness::RunOutcome second = harness::RunnerPool::ExecuteOne(specs[0]);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.monitor_csv, second.monitor_csv);
+
+  // The burst actually fires: shaped output differs from the unshaped
+  // config (a disabled shape would pass the identity checks vacuously).
+  harness::RunSpec unshaped = specs[0];
+  unshaped.config.traffic.clear();
+  harness::RunOutcome plain = harness::RunnerPool::ExecuteOne(unshaped);
+  ASSERT_TRUE(plain.ok) << plain.error;
+  EXPECT_NE(first.monitor_csv, plain.monitor_csv);
+
+  // jobs=4 == jobs=1 over a small pool of shaped specs.
+  std::vector<harness::RunSpec> pool_specs = {specs[0], unshaped, specs[0]};
+  std::vector<harness::RunOutcome> parallel =
+      harness::RunnerPool(4).Run(pool_specs);
+  std::vector<harness::RunOutcome> serial =
+      harness::RunnerPool(1).Run(pool_specs);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t i = 0; i < parallel.size(); ++i) {
+    ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
+    EXPECT_EQ(parallel[i].monitor_csv, serial[i].monitor_csv) << i;
+  }
+}
+
+TEST(ScenarioDeterminismTest, DirtinessDialChangesOnlyItsOwnSource) {
+  // A dial set to the base rate is a no-op (byte identity); a different
+  // dial changes the run.
+  harness::RunSpec base;
+  base.config.periods = 2;
+  harness::RunSpec same = base;
+  same.config.source_error_rates["us_madison"] = base.config.error_rate;
+  harness::RunSpec dirty = base;
+  dirty.config.source_error_rates["us_madison"] = 0.5;
+
+  harness::RunOutcome base_run = harness::RunnerPool::ExecuteOne(base);
+  harness::RunOutcome same_run = harness::RunnerPool::ExecuteOne(same);
+  harness::RunOutcome dirty_run = harness::RunnerPool::ExecuteOne(dirty);
+  ASSERT_TRUE(base_run.ok && same_run.ok && dirty_run.ok);
+  EXPECT_EQ(base_run.monitor_csv, same_run.monitor_csv);
+  EXPECT_NE(base_run.monitor_csv, dirty_run.monitor_csv);
+}
+
+}  // namespace
+}  // namespace dipbench
