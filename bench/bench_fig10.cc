@@ -34,7 +34,9 @@ int main(int argc, char** argv) {
       .Define("fault-rate", "endpoint call failure probability q "
                             "(enables 8-attempt retry + dead letters)")
       .Define("retry-attempts", "attempts per process instance")
-      .Define("exec-mode", "materialize | pipeline (default pipeline)");
+      .Define("exec-mode", "materialize | pipeline (default pipeline)")
+      .Define("workers", "real threads for the intra-run scheduler "
+                         "(default 1 = serial; output is identical)");
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
                  flags.Usage().c_str());
@@ -95,6 +97,17 @@ int main(int argc, char** argv) {
     config.retry_max_attempts = *attempts;
     config.retry_backoff_tu = 1.0;
     config.retry_dead_letter = true;
+  }
+  // --workers=N executes independent instances of one run on N real
+  // threads (SPECIFICATION.md §13); every figure artifact stays
+  // byte-identical to the serial run.
+  if (flags.Has("workers")) {
+    Result<int> workers = flags.GetInt("workers", 1);
+    if (!workers.ok() || *workers < 1) {
+      std::fprintf(stderr, "invalid --workers\n%s", flags.Usage().c_str());
+      return 2;
+    }
+    config.workers = *workers;
   }
   // --exec-mode=materialize|pipeline (default pipeline). Monitor output is
   // identical between modes; the flag exists for parity checks and timing.

@@ -52,7 +52,9 @@ int main(int argc, char** argv) {
       .Define("fault-rate", "endpoint call failure probability q "
                             "(enables 8-attempt retry + dead letters)")
       .Define("retry-attempts", "attempts per process instance")
-      .Define("exec-mode", "materialize | pipeline (default pipeline)");
+      .Define("exec-mode", "materialize | pipeline (default pipeline)")
+      .Define("workers", "real threads for the intra-run scheduler "
+                         "(default 1 = serial; output is identical)");
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
                  flags.Usage().c_str());
@@ -110,6 +112,16 @@ int main(int argc, char** argv) {
     base.retry_max_attempts = *attempts;
     base.retry_backoff_tu = 1.0;
     base.retry_dead_letter = true;
+  }
+  // --workers=N runs both configurations on the intra-run scheduler
+  // (SPECIFICATION.md §13); the figure's numbers do not change.
+  if (flags.Has("workers")) {
+    Result<int> workers = flags.GetInt("workers", 1);
+    if (!workers.ok() || *workers < 1) {
+      std::fprintf(stderr, "invalid --workers\n%s", flags.Usage().c_str());
+      return 2;
+    }
+    base.workers = *workers;
   }
   // --exec-mode=materialize|pipeline (default pipeline). Monitor output is
   // identical between modes; the flag exists for parity checks and timing.

@@ -48,6 +48,8 @@ int main(int argc, char** argv) {
   flags.Define("dir", "scenario manifest directory (default: "
                       "examples/scenarios, then ../examples/scenarios)")
       .Define("jobs", "worker threads for the parallel pass (default 4)")
+      .Define("workers", "intra-run scheduler threads, overriding every "
+                         "manifest (default: per-manifest `workers` key)")
       .Define("json-out", "write the run summary as JSON to this path");
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -94,6 +96,19 @@ int main(int argc, char** argv) {
   if (periods_override > 0) {
     for (harness::RunSpec& spec : specs) {
       spec.config.periods = periods_override;
+    }
+  }
+  // --workers=N puts every expanded run on the intra-run scheduler
+  // (SPECIFICATION.md §13). Run outputs — and therefore the parallel ==
+  // serial pass comparison below — are unchanged by construction.
+  if (flags.Has("workers")) {
+    Result<int> workers = flags.GetInt("workers", 1);
+    if (!workers.ok() || *workers < 1) {
+      std::fprintf(stderr, "invalid --workers\n%s", flags.Usage().c_str());
+      return 2;
+    }
+    for (harness::RunSpec& spec : specs) {
+      spec.config.workers = *workers;
     }
   }
 

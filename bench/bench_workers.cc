@@ -1,74 +1,228 @@
-// Ablation: intra-engine parallelism (worker slots of the system under
-// test). More workers absorb the concurrent message streams A and B with
-// less queueing — but must never change WHAT is integrated, only how fast
-// (the bench checks the integrated data is identical across the sweep).
+// Intra-run scheduler benchmark (SPECIFICATION.md §13): executes the SAME
+// simulation on 1..N real threads and enforces, as an exit-gated check,
+// that every observable output — Monitor CSV, per-instance records
+// (status, attempts, error strings), retry/dead-letter counts and the
+// integrated data — is byte-identical to the serial engine. Then measures
+// the wall-clock speedup the worker pool buys on a larger configuration.
+//
+// Two layers:
+//   1. identity sweep: workers x {dataflow, federated} x 3 seeds x
+//      {clean, faulted} at a small scale — any divergence fails the run;
+//   2. timing sweep: one larger clean config per worker count (dataflow),
+//      reporting wall ms and speedup vs workers=1.
+//
+// Note this is DISTINCT from the virtual `worker_slots` dial (the modeled
+// DES concurrency): `workers` changes how fast the simulation computes,
+// never what it computes.
+//
+// Layer 2's speedup is a HARDWARE measurement: the worker pool uses real
+// threads, so wall-clock gains require multiple hardware cores. On a
+// single-core host (common in CI containers) expect ~1.0x with a small
+// time-slicing penalty at higher worker counts — the identity gates are
+// the correctness signal there, not the speedup column. The output and
+// JSON record the host's hardware_concurrency so readers can tell the
+// two situations apart.
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "src/common/flags.h"
+#include "src/common/string_util.h"
 #include "src/dipbench/client.h"
+#include "src/dipbench/monitor.h"
+#include "src/harness/harness.h"
+#include "src/obs/export.h"
 
 using namespace dipbench;
 
-int main() {
+namespace {
+
+struct RunDigest {
+  std::string csv;      ///< Monitor CSV (or the failure status).
+  std::string records;  ///< per-instance digest incl. fault messages
+  uint64_t retries = 0;
+  uint64_t dead_letters = 0;
+  size_t dwh_orders = 0;
+  double wall_ms = 0.0;
+  bool ok = false;
+};
+
+RunDigest RunOnce(const ScaleConfig& cfg, const std::string& engine_name,
+                  int workers) {
+  RunDigest out;
+  ScaleConfig run_cfg = cfg;
+  run_cfg.workers = workers;
+  auto scenario_result = Scenario::Create();
+  if (!scenario_result.ok()) {
+    out.csv = "STATUS: " + scenario_result.status().ToString();
+    return out;
+  }
+  auto scenario = std::move(scenario_result).ValueOrDie();
+  auto engine_result = harness::MakeEngine(engine_name, scenario->network(),
+                                           run_cfg.worker_slots);
+  if (!engine_result.ok()) {
+    out.csv = "STATUS: " + engine_result.status().ToString();
+    return out;
+  }
+  core::EngineBase& engine = **engine_result;
+  Client client(scenario.get(), &engine, run_cfg);
+  auto result = client.Run();
+  for (const auto& r : engine.records()) {
+    out.records += r.process_id + "|" + std::to_string(r.period) + "|" +
+                   std::to_string(r.submit_time) + "|" +
+                   std::to_string(r.start_time) + "|" +
+                   std::to_string(r.end_time) + "|" +
+                   std::to_string(r.attempts) + "|" +
+                   (r.ok ? "ok" : "FAIL") + "|" +
+                   (r.dead_lettered ? "dead" : "-") + "|" + r.error + "\n";
+    if (r.attempts > 1) out.retries += static_cast<uint64_t>(r.attempts - 1);
+    if (r.dead_lettered) ++out.dead_letters;
+  }
+  if (!result.ok()) {
+    out.csv = "STATUS: " + result.status().ToString();
+    return out;
+  }
+  out.ok = true;
+  out.csv = Monitor::ToCsv(result->per_process);
+  out.dwh_orders = result->verification.dwh_orders;
+  out.wall_ms = result->wall_ms;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flags::FlagSet flags("bench_workers");
+  flags
+      .Define("workers",
+              "single worker count to check against the serial engine "
+              "(default: sweep 2,4,8)")
+      .Define("json-out", "write machine-readable results to this path");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+
+  std::vector<int> sweep = {2, 4, 8};
+  if (flags.Has("workers")) {
+    Result<int> w = flags.GetInt("workers", 4);
+    if (!w.ok() || *w < 1) {
+      std::fprintf(stderr, "invalid --workers\n%s", flags.Usage().c_str());
+      return 2;
+    }
+    sweep = {*w};
+  }
+  const std::string json_out = flags.Get("json-out");
   int periods = 10;
   if (const char* p = std::getenv("DIPBENCH_PERIODS")) periods = std::atoi(p);
 
-  std::printf("=== Worker-slot ablation (d=0.05, %d periods, dataflow "
-              "engine) ===\n\n",
-              periods);
-  std::printf("%8s %12s %12s %12s %14s %14s\n", "workers", "P04 NAVG+",
-              "P10 NAVG+", "P14 NAVG+", "avg wait [tu]", "dwh rows");
-
-  size_t baseline_rows = 0;
-  double baseline_revenue = 0.0;
-  bool identical = true;
-  double prev_wait = 1e18;
-  bool wait_monotone = true;
-  for (int workers : {1, 2, 4, 8}) {
-    ScaleConfig config;
-    config.datasize = 0.05;
-    config.periods = periods;
-    config.worker_slots = workers;
-    auto scenario_result = Scenario::Create();
-    if (!scenario_result.ok()) return 1;
-    auto scenario = std::move(scenario_result).ValueOrDie();
-    core::DataflowEngine engine(scenario->network(), core::DataflowWeights(),
-                                workers);
-    Client client(scenario.get(), &engine, config);
-    auto result = client.Run();
-    if (!result.ok()) {
-      std::fprintf(stderr, "workers=%d: %s\n", workers,
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    double wait = 0;
-    int n = 0;
-    for (const auto& m : result->per_process) {
-      if (m.process_id == "P04" || m.process_id == "P08" ||
-          m.process_id == "P10") {
-        wait += m.avg_wait_tu;
-        ++n;
+  // --- Layer 1: byte-identity gates ------------------------------------
+  std::printf("=== Intra-run scheduler: byte-identity gates ===\n\n");
+  bool all_identical = true;
+  const uint64_t kSeeds[] = {20080412ull, 7ull, 13ull};
+  for (const char* engine : {"dataflow", "federated"}) {
+    for (bool faulted : {false, true}) {
+      for (uint64_t seed : kSeeds) {
+        ScaleConfig cfg;
+        cfg.datasize = 0.02;
+        cfg.periods = 2;
+        cfg.seed = seed;
+        if (faulted) {
+          cfg.fault_rate = 0.02;
+          cfg.fault_spike_rate = 0.02;
+          cfg.fault_spike_tu = 5.0;
+          cfg.retry_max_attempts = 8;
+          cfg.retry_backoff_tu = 1.0;
+          cfg.retry_dead_letter = true;
+        }
+        RunDigest serial = RunOnce(cfg, engine, 1);
+        for (int workers : sweep) {
+          RunDigest par = RunOnce(cfg, engine, workers);
+          bool same = par.csv == serial.csv && par.records == serial.records;
+          if (!same) all_identical = false;
+          std::printf("%-10s %-7s seed=%-9llu workers=%d : %s\n", engine,
+                      faulted ? "faulted" : "clean",
+                      static_cast<unsigned long long>(seed), workers,
+                      same ? "identical" : "DIVERGED");
+        }
       }
     }
-    std::printf("%8d %12.1f %12.1f %12.1f %14.2f %14zu\n", workers,
-                result->NavgPlus("P04"), result->NavgPlus("P10"),
-                result->NavgPlus("P14"), wait / n,
-                result->verification.dwh_orders);
-    if (baseline_rows == 0) {
-      baseline_rows = result->verification.dwh_orders;
-      baseline_revenue = result->verification.dwh_revenue;
-    } else if (result->verification.dwh_orders != baseline_rows ||
-               result->verification.dwh_revenue != baseline_revenue) {
-      identical = false;
-    }
-    if (wait / n > prev_wait + 1e-9) wait_monotone = false;
-    prev_wait = wait / n;
   }
-  std::printf("\nshape check 1 (identical integrated data at every worker "
-              "count): %s\n",
-              identical ? "OK" : "VIOLATED");
-  std::printf("shape check 2 (queueing decreases with workers): %s\n",
-              wait_monotone ? "OK" : "VIOLATED");
-  return 0;
+
+  // --- Layer 2: wall-clock speedup --------------------------------------
+  // d=0.25 makes the per-instance work big enough that the message wave's
+  // three independent chains dominate the scheduler's per-node overhead;
+  // the singleton batch waves (P11, streams C and D) bound the achievable
+  // speedup per Amdahl regardless of worker count.
+  ScaleConfig timing;
+  timing.datasize = 0.25;
+  timing.periods = periods;
+  const unsigned hw_cores = std::thread::hardware_concurrency();
+  std::printf("\n=== Wall-clock speedup (dataflow, d=%.2f, %d periods, "
+              "%u hardware core%s) ===\n\n",
+              timing.datasize, periods, hw_cores, hw_cores == 1 ? "" : "s");
+  if (hw_cores <= 1) {
+    std::printf("NOTE: single-core host — worker threads time-slice one "
+                "core, so expect ~1.0x;\nthe identity gates above are the "
+                "meaningful signal on this machine.\n\n");
+  }
+  std::printf("%8s %12s %10s %14s\n", "workers", "wall [ms]", "speedup",
+              "dwh rows");
+  RunDigest base = RunOnce(timing, "dataflow", 1);
+  if (!base.ok) {
+    std::fprintf(stderr, "baseline run failed: %s\n", base.csv.c_str());
+    return 1;
+  }
+  std::printf("%8d %12.0f %10s %14zu\n", 1, base.wall_ms, "1.00x",
+              base.dwh_orders);
+  struct TimedPoint {
+    int workers;
+    double wall_ms;
+    double speedup;
+    bool identical;
+  };
+  std::vector<TimedPoint> points;
+  for (int workers : sweep) {
+    RunDigest par = RunOnce(timing, "dataflow", workers);
+    bool same = par.ok && par.csv == base.csv && par.records == base.records;
+    if (!same) all_identical = false;
+    double speedup = par.wall_ms > 0 ? base.wall_ms / par.wall_ms : 0.0;
+    points.push_back({workers, par.wall_ms, speedup, same});
+    std::printf("%8d %12.0f %9.2fx %14zu %s\n", workers, par.wall_ms,
+                speedup, par.dwh_orders, same ? "" : "  DIVERGED");
+  }
+
+  std::printf("\nexit gate (workers=N output byte-identical to workers=1, "
+              "every engine/seed/fault plan): %s\n",
+              all_identical ? "OK" : "VIOLATED");
+
+  if (!json_out.empty()) {
+    std::string json = "{\n  \"benchmark\": \"workers\",\n  \"periods\": " +
+                       std::to_string(periods) +
+                       ",\n  \"hardware_concurrency\": " +
+                       std::to_string(hw_cores) + ",\n  \"identical\": " +
+                       (all_identical ? "true" : "false") +
+                       ",\n  \"baseline_wall_ms\": " +
+                       StrFormat("%.1f", base.wall_ms) + ",\n  \"points\": [";
+    for (size_t i = 0; i < points.size(); ++i) {
+      json += StrFormat(
+          "%s\n    {\"workers\": %d, \"wall_ms\": %.1f, \"speedup\": %.3f, "
+          "\"identical\": %s}",
+          i ? "," : "", points[i].workers, points[i].wall_ms,
+          points[i].speedup, points[i].identical ? "true" : "false");
+    }
+    json += "\n  ]\n}\n";
+    Status st = obs::WriteFileOrError(json_out, json);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+  return all_identical ? 0 : 1;
 }

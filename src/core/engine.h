@@ -26,6 +26,11 @@ struct ProcessEvent {
   VirtualTime when = 0.0;
   std::shared_ptr<const xml::Node> message;  ///< E1 payload; null for E2.
   int period = 0;                            ///< Benchmark period k.
+  /// Process types whose queued instances must all finish before this event
+  /// may start (the schedule's explicit ordering constraints, e.g. P03
+  /// after P01 and P02). Consumed by the intra-run instance scheduler;
+  /// empty = only implicit data-conflict ordering applies.
+  std::vector<std::string> after_types;
 };
 
 /// What the Monitor collects per executed process instance.
@@ -94,6 +99,12 @@ class IntegrationSystem {
   /// Installs the failure-recovery policy. The default (no-op) keeps the
   /// legacy semantics: one attempt, first failure aborts the run.
   virtual void SetRetryPolicy(const RetryPolicy&) {}
+
+  /// Sets how many REAL threads execute ready instances inside one
+  /// RunUntilIdle (the intra-run scheduler, SPECIFICATION.md §13). This is
+  /// an execution dial, not a model parameter: every virtual-time output is
+  /// byte-identical for any value. Default (and no-op base) is 1.
+  virtual void SetExecWorkers(int) {}
 };
 
 /// Shared DES machinery: event queue, worker slots, cost bookkeeping.
@@ -119,6 +130,11 @@ class EngineBase : public IntegrationSystem {
     retry_policy_ = policy;
   }
   const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  void SetExecWorkers(int workers) override {
+    exec_workers_ = workers > 1 ? workers : 1;
+  }
+  int exec_workers() const { return exec_workers_; }
 
   const CostWeights& weights() const { return weights_; }
   int worker_slots() const { return static_cast<int>(worker_free_.size()); }
@@ -163,6 +179,13 @@ class EngineBase : public IntegrationSystem {
   virtual Status ExecuteInstance(const ProcessDefinition& def,
                                  ProcessContext* ctx) = 0;
 
+  /// Whether this engine's execution vehicle keeps per-process-type state
+  /// that forces same-type instances to capture in serial order (the
+  /// federated realization's queue tables and tid sequences). Engines
+  /// without such state let same-type instances overlap — their only
+  /// ordering comes from the declared resource claims.
+  virtual bool SerializesSameProcessType() const { return false; }
+
   net::Network* network_;
   CostWeights weights_;
   std::map<std::string, ProcessDefinition> processes_;
@@ -177,11 +200,22 @@ class EngineBase : public IntegrationSystem {
     }
   };
 
+  /// One drained queue entry plus everything its worker-side attempts
+  /// captured, awaiting serial replay (defined in engine.cc).
+  struct WaveInstance;
+
+  /// Serial replay of one captured instance: commits its results into the
+  /// engine state with exactly the serial event loop's accounting. Returns
+  /// false to abort the wave (sets *abort_status).
+  bool ReplayInstance(WaveInstance* inst, int max_attempts,
+                      Status* abort_status);
+
   std::string name_;
   std::priority_queue<QueuedEvent, std::vector<QueuedEvent>,
                       std::greater<QueuedEvent>>
       queue_;
   uint64_t next_seq_ = 0;
+  int exec_workers_ = 1;
   std::vector<VirtualTime> worker_free_;
   VirtualClock clock_;
   std::vector<InstanceRecord> records_;
@@ -241,11 +275,17 @@ class FederatedEngine : public EngineBase {
   Status ExecuteInstance(const ProcessDefinition& def,
                          ProcessContext* ctx) override;
 
+  /// E1 instances draw a tid from a per-type sequence and insert into the
+  /// per-type queue table at capture time: same-type captures must stay in
+  /// serial order.
+  bool SerializesSameProcessType() const override { return true; }
+
  private:
   Database engine_db_{"integration_services"};
-  // Live context for the currently executing trigger body (the DES runs
-  // one instance at a time, so a single slot suffices).
-  ProcessContext* current_ctx_ = nullptr;
+  // Live context for the currently executing trigger body. Thread-local:
+  // the intra-run scheduler runs one instance at a time PER WORKER, so each
+  // worker thread needs its own slot.
+  static thread_local ProcessContext* current_ctx_;
 };
 
 }  // namespace core

@@ -61,6 +61,7 @@ Status Client::SubmitSeries(const std::string& process_id, int k,
     ev.process_id = process_id;
     ev.when = t0_ms + config_.TuToMs(series[m]);
     ev.period = k;
+    ev.after_types = Schedule::Predecessors(process_id);
     int idx = static_cast<int>(m) + 1;
     if (process_id == "P01") {
       ev.message = initializer_.MakeBeijingCustomer(k, idx);
@@ -118,6 +119,7 @@ Status Client::RunPeriod(int k) {
     ev.process_id = id;
     ev.when = when;
     ev.period = k;
+    ev.after_types = Schedule::Predecessors(id);
     return engine_->Submit(std::move(ev));
   };
 
@@ -199,6 +201,11 @@ Result<BenchmarkResult> Client::Run() {
   retry.instance_timeout_ms = config_.TuToMs(config_.instance_timeout_tu);
   retry.dead_letter = config_.retry_dead_letter;
   engine_->SetRetryPolicy(retry);
+
+  // Real execution threads inside each RunUntilIdle (the intra-run
+  // scheduler). Pure execution dial: outputs are byte-identical for any
+  // value, so the default 1 keeps the serial engine exactly.
+  engine_->SetExecWorkers(config_.workers);
 
   // --- work phase ---
   for (int k = 0; k < config_.periods; ++k) {

@@ -102,10 +102,14 @@ std::string ScaleConfig::ToString() const {
                      retry_max_attempts, retry_backoff_tu,
                      retry_dead_letter ? "on" : "off");
   }
-  // datagen_jobs never changes the generated bytes, so it is rendered only
-  // when it deviates from the serial default (diagnostic, not identity).
+  // datagen_jobs and the intra-run scheduler's workers never change the
+  // produced bytes, so they render only when deviating from the serial
+  // default (diagnostic, not identity).
   if (datagen_jobs > 1) {
     out += StrFormat(", datagen_jobs=%d", datagen_jobs);
+  }
+  if (workers > 1) {
+    out += StrFormat(", exec_workers=%d", workers);
   }
   // Scenario-manifest extensions, rendered only when present.
   if (!traffic.empty()) {

@@ -134,6 +134,13 @@ struct ScaleConfig {
   /// charged) instead of aborting the period.
   bool retry_dead_letter = false;
 
+  /// Real execution threads inside one engine RunUntilIdle (the intra-run
+  /// instance scheduler, SPECIFICATION.md §13). Distinct from worker_slots,
+  /// which is the MODELED virtual concurrency: `workers` only changes how
+  /// fast the simulation computes, never what it computes — every output is
+  /// byte-identical for any value. 1 keeps the serial event loop.
+  int workers = 1;
+
   /// Threads used by the Initializer's per-period data generation. Every
   /// seeding unit (one external database instance) draws from its own
   /// deterministically forked PRNG stream, so the generated data is byte-

@@ -5,8 +5,89 @@
 namespace dipbench {
 namespace net {
 
+namespace {
+
+thread_local FaultCallScope* g_current_scope = nullptr;
+
+/// splitmix64 finalizer — decorrelates the keyed-draw seed components so
+/// (tag, attempt, call) triples that differ in one bit land far apart.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultCallScope::FaultCallScope(uint64_t instance_tag, int attempt)
+    : tag_(instance_tag), attempt_(attempt), prev_(g_current_scope) {
+  g_current_scope = this;
+}
+
+FaultCallScope::~FaultCallScope() { g_current_scope = prev_; }
+
+FaultCallScope* FaultCallScope::Current() { return g_current_scope; }
+
+uint64_t FaultCallScope::NextCallIndex(const std::string& endpoint) {
+  return counts_[endpoint]++;
+}
+
+Status FaultInjector::InjectFault(const char* kind, std::string detail,
+                                  const obs::ObsContext& obs) {
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  obs.Count("engine.faults_injected");
+  if (obs.metrics() != nullptr) {
+    obs.metrics()->GetCounter("endpoint." + endpoint_ + ".faults")
+        ->Increment();
+  }
+  return Status::Unavailable(StrFormat("injected %s fault on %s (%s)", kind,
+                                       endpoint_.c_str(), detail.c_str()));
+}
+
 Status FaultInjector::OnCall(NetStats* stats, const obs::ObsContext& obs) {
-  uint64_t call = calls_++;
+  FaultCallScope* scope = FaultCallScope::Current();
+  if (scope == nullptr || IsOrderStateful()) {
+    // Global-arrival-order semantics: outage windows and phases are defined
+    // over the injector-wide call index, and unscoped callers predate the
+    // scheduler. The scheduler serializes every instance claiming a
+    // stateful endpoint, so this path never races.
+    return OnCallSequential(stats, obs);
+  }
+
+  const uint64_t idx = scope->NextCallIndex(endpoint_);
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t key = seed_;
+  key = Mix64(key ^ scope->instance_tag());
+  key = Mix64(key ^ static_cast<uint64_t>(scope->attempt()));
+  key = Mix64(key ^ idx);
+  Rng rng(key);
+
+  if (profile_.error_rate > 0.0 && rng.NextDouble() < profile_.error_rate) {
+    return InjectFault(
+        "error",
+        StrFormat("instance #%llu attempt %d call %llu",
+                  static_cast<unsigned long long>(scope->instance_tag()),
+                  scope->attempt(), static_cast<unsigned long long>(idx)),
+        obs);
+  }
+
+  if (profile_.spike_rate > 0.0 && profile_.spike_ms > 0.0 &&
+      rng.NextDouble() < profile_.spike_rate) {
+    spikes_.fetch_add(1, std::memory_order_relaxed);
+    obs.Count("engine.latency_spikes");
+    if (stats != nullptr) {
+      NetStats spike;
+      spike.comm_ms = profile_.spike_ms;
+      stats->Add(spike);
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::OnCallSequential(NetStats* stats,
+                                       const obs::ObsContext& obs) {
+  uint64_t call = calls_.fetch_add(1, std::memory_order_relaxed);
 
   bool fail = false;
   const char* kind = "";
@@ -20,20 +101,15 @@ Status FaultInjector::OnCall(NetStats* stats, const obs::ObsContext& obs) {
     kind = "error";
   }
   if (fail) {
-    ++faults_;
-    obs.Count("engine.faults_injected");
-    if (obs.metrics() != nullptr) {
-      obs.metrics()->GetCounter("endpoint." + endpoint_ + ".faults")
-          ->Increment();
-    }
-    return Status::Unavailable(StrFormat("injected %s fault on %s (call #%llu)",
-                                         kind, endpoint_.c_str(),
-                                         static_cast<unsigned long long>(call)));
+    return InjectFault(kind,
+                       StrFormat("call #%llu",
+                                 static_cast<unsigned long long>(call)),
+                       obs);
   }
 
   if (profile_.spike_rate > 0.0 && profile_.spike_ms > 0.0 &&
       rng_.NextDouble() < profile_.spike_rate) {
-    ++spikes_;
+    spikes_.fetch_add(1, std::memory_order_relaxed);
     obs.Count("engine.latency_spikes");
     if (stats != nullptr) {
       NetStats spike;

@@ -1,6 +1,7 @@
 #ifndef DIPBENCH_NET_FAULT_H_
 #define DIPBENCH_NET_FAULT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -107,8 +108,49 @@ struct FaultPlan {
   }
 };
 
-/// Per-endpoint fault state: counts calls, draws faults and spikes from its
-/// own forked PRNG stream. Owned by the Endpoint it is installed on.
+/// Identifies the engine instance (and retry attempt) on whose behalf the
+/// current thread is calling endpoints. The engine opens one scope around
+/// each attempt; FaultInjector then keys its PRNG draws on
+/// (endpoint, instance tag, attempt, per-endpoint call index) instead of the
+/// injector-global arrival order, so the set of injected faults is a pure
+/// function of WHICH calls run — independent of how the intra-run scheduler
+/// interleaves instances across workers (SPECIFICATION.md §13).
+///
+/// Scopes are thread-local and nest (restoring the previous scope on
+/// destruction); call indices restart at 0 per scope, i.e. per attempt.
+class FaultCallScope {
+ public:
+  FaultCallScope(uint64_t instance_tag, int attempt);
+  ~FaultCallScope();
+  FaultCallScope(const FaultCallScope&) = delete;
+  FaultCallScope& operator=(const FaultCallScope&) = delete;
+
+  /// The scope active on this thread, or nullptr outside any engine attempt.
+  static FaultCallScope* Current();
+
+  uint64_t instance_tag() const { return tag_; }
+  int attempt() const { return attempt_; }
+  /// Returns the 0-based index of this call among the scope's calls to
+  /// `endpoint`, then advances it.
+  uint64_t NextCallIndex(const std::string& endpoint);
+
+ private:
+  uint64_t tag_;
+  int attempt_;
+  std::map<std::string, uint64_t> counts_;
+  FaultCallScope* prev_;
+};
+
+/// Per-endpoint fault state. Owned by the Endpoint it is installed on.
+///
+/// Draw keying: when a FaultCallScope is active and the profile is not
+/// order-stateful (no outage window, no phases), every call draws from a
+/// fresh PRNG seeded by (injector seed, instance tag, attempt, per-endpoint
+/// call index) — order-independent, so parallel and serial execution inject
+/// the identical fault set. Order-stateful profiles (and calls outside any
+/// scope) use the legacy sequential stream keyed on global arrival order;
+/// the scheduler serializes all instances touching such an endpoint to keep
+/// that order deterministic.
 ///
 /// Determinism note: a component that is disabled (rate 0) consumes no PRNG
 /// draws, so enabling e.g. latency spikes later does not reshuffle the
@@ -116,7 +158,8 @@ struct FaultPlan {
 class FaultInjector {
  public:
   FaultInjector(FaultProfile profile, uint64_t seed, std::string endpoint)
-      : profile_(profile), rng_(seed), endpoint_(std::move(endpoint)) {}
+      : profile_(profile), rng_(seed), seed_(seed),
+        endpoint_(std::move(endpoint)) {}
 
   /// Consulted once at the start of every endpoint call, before the
   /// operation body executes. Returns a retryable Unavailable status when a
@@ -125,18 +168,34 @@ class FaultInjector {
   /// fault counters (null-safe).
   Status OnCall(NetStats* stats, const obs::ObsContext& obs);
 
+  /// True when fault decisions depend on the global call arrival order
+  /// (outage windows, error-rate phases). The scheduler serializes every
+  /// instance that claims an endpoint with a stateful injector.
+  bool IsOrderStateful() const {
+    return profile_.outage_calls > 0 || !profile_.phases.empty();
+  }
+
   const FaultProfile& profile() const { return profile_; }
-  uint64_t calls() const { return calls_; }
-  uint64_t faults_injected() const { return faults_; }
-  uint64_t spikes_injected() const { return spikes_; }
+  uint64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  uint64_t faults_injected() const {
+    return faults_.load(std::memory_order_relaxed);
+  }
+  uint64_t spikes_injected() const {
+    return spikes_.load(std::memory_order_relaxed);
+  }
 
  private:
+  Status OnCallSequential(NetStats* stats, const obs::ObsContext& obs);
+  Status InjectFault(const char* kind, std::string detail,
+                     const obs::ObsContext& obs);
+
   FaultProfile profile_;
-  Rng rng_;
+  Rng rng_;  ///< Legacy sequential stream (stateful / unscoped calls only).
+  uint64_t seed_ = 0;
   std::string endpoint_;
-  uint64_t calls_ = 0;
-  uint64_t faults_ = 0;
-  uint64_t spikes_ = 0;
+  std::atomic<uint64_t> calls_{0};
+  std::atomic<uint64_t> faults_{0};
+  std::atomic<uint64_t> spikes_{0};
 };
 
 }  // namespace net

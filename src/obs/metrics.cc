@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <thread>
 
 namespace dipbench {
 namespace obs {
@@ -12,7 +14,22 @@ Histogram::Histogram(std::vector<double> upper_bounds)
   upper_bounds_.erase(
       std::unique(upper_bounds_.begin(), upper_bounds_.end()),
       upper_bounds_.end());
-  counts_.assign(upper_bounds_.size() + 1, 0);
+  for (Shard& shard : shards_) {
+    shard.counts.assign(upper_bounds_.size() + 1, 0);
+  }
+}
+
+Histogram::Histogram(Histogram&& other) : upper_bounds_(std::move(other.upper_bounds_)) {
+  // Only used while the registry inserts a freshly built (empty, unshared)
+  // histogram into its map — no observer can hold a pointer yet, so the
+  // shard copy needs no locks.
+  for (size_t i = 0; i < kShards; ++i) {
+    shards_[i].counts = other.shards_[i].counts;
+    shards_[i].count = other.shards_[i].count;
+    shards_[i].sum = other.shards_[i].sum;
+    shards_[i].min = other.shards_[i].min;
+    shards_[i].max = other.shards_[i].max;
+  }
 }
 
 std::vector<double> Histogram::ExponentialBuckets(double start, double factor,
@@ -27,41 +44,85 @@ std::vector<double> Histogram::ExponentialBuckets(double start, double factor,
   return bounds;
 }
 
+Histogram::Shard& Histogram::ShardForThisThread() {
+  return shards_[std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+                 kShards];
+}
+
 void Histogram::Observe(double v) {
   size_t i = static_cast<size_t>(
       std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), v) -
       upper_bounds_.begin());
-  ++counts_[i];
-  ++count_;
-  sum_ += v;
-  if (count_ == 1) {
-    min_ = max_ = v;
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.counts[i];
+  ++shard.count;
+  shard.sum += v;
+  if (shard.count == 1) {
+    shard.min = shard.max = v;
   } else {
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
+    shard.min = std::min(shard.min, v);
+    shard.max = std::max(shard.max, v);
   }
 }
 
+Histogram::Merged Histogram::Merge() const {
+  Merged m;
+  m.counts.assign(upper_bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.count == 0) continue;
+    for (size_t i = 0; i < shard.counts.size() && i < m.counts.size(); ++i) {
+      m.counts[i] += shard.counts[i];
+    }
+    if (m.count == 0) {
+      m.min = shard.min;
+      m.max = shard.max;
+    } else {
+      m.min = std::min(m.min, shard.min);
+      m.max = std::max(m.max, shard.max);
+    }
+    m.count += shard.count;
+    m.sum += shard.sum;
+  }
+  return m;
+}
+
+uint64_t Histogram::count() const { return Merge().count; }
+double Histogram::sum() const { return Merge().sum; }
+double Histogram::min() const { return Merge().min; }
+double Histogram::max() const { return Merge().max; }
+
+double Histogram::Mean() const {
+  Merged m = Merge();
+  return m.count == 0 ? 0.0 : m.sum / static_cast<double>(m.count);
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  return Merge().counts;
+}
+
 double Histogram::Quantile(double q) const {
-  if (count_ == 0) return 0.0;
+  Merged m = Merge();
+  if (m.count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  double target = q * static_cast<double>(count_);
+  double target = q * static_cast<double>(m.count);
   uint64_t cumulative = 0;
-  for (size_t i = 0; i < counts_.size(); ++i) {
-    if (counts_[i] == 0) continue;
+  for (size_t i = 0; i < m.counts.size(); ++i) {
+    if (m.counts[i] == 0) continue;
     double before = static_cast<double>(cumulative);
-    cumulative += counts_[i];
+    cumulative += m.counts[i];
     if (static_cast<double>(cumulative) < target) continue;
     // Interpolate inside bucket i between its lower and upper edge.
-    double lower = i == 0 ? min_ : upper_bounds_[i - 1];
-    double upper = i < upper_bounds_.size() ? upper_bounds_[i] : max_;
-    lower = std::max(lower, min_);
-    upper = std::min(upper, max_);
-    if (upper <= lower) return std::clamp(lower, min_, max_);
-    double frac = (target - before) / static_cast<double>(counts_[i]);
-    return std::clamp(lower + frac * (upper - lower), min_, max_);
+    double lower = i == 0 ? m.min : upper_bounds_[i - 1];
+    double upper = i < upper_bounds_.size() ? upper_bounds_[i] : m.max;
+    lower = std::max(lower, m.min);
+    upper = std::min(upper, m.max);
+    if (upper <= lower) return std::clamp(lower, m.min, m.max);
+    double frac = (target - before) / static_cast<double>(m.counts[i]);
+    return std::clamp(lower + frac * (upper - lower), m.min, m.max);
   }
-  return max_;
+  return m.max;
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {

@@ -13,16 +13,19 @@ namespace obs {
 
 /// Thread-safety contract of this module (see SPECIFICATION.md §11): each
 /// benchmark run OWNS its TraceRecorder and MetricsRegistry — the parallel
-/// harness (src/harness) creates one pair per run, so the hot instrument
-/// paths need no locks across runs. Within one registry that is nevertheless
-/// shared (e.g. engine + network + client of the SAME run, which all execute
-/// on that run's thread — or a deliberately shared cross-run registry):
+/// harness (src/harness) creates one pair per run, so cross-run sharing
+/// never happens on the hot paths. Within one run the registry IS shared
+/// across threads since the intra-run scheduler (SPECIFICATION.md §13) runs
+/// instances of one run on a worker pool:
 ///   * instrument creation (Get*) is mutex-guarded;
 ///   * Counter and Gauge writes are atomic (relaxed — they are statistics,
 ///     not synchronization);
-///   * Histogram::Observe and all readers (Find*, counters(), exporters)
-///     are NOT synchronized against concurrent writers: they are meant for
-///     the owning thread, or for after the writers have been joined.
+///   * Histogram::Observe is concurrency-safe via per-worker shards merged
+///     on read. count/min/max/bucket_counts (and therefore all quantiles)
+///     are exact and independent of observation order; only `sum` (and
+///     Mean) can differ in the last float bits between runs when multiple
+///     threads observed the same histogram, because float addition is not
+///     associative. Every byte-gated artifact is observed single-threaded.
 
 /// Monotonically increasing event count. Increments are atomic so a
 /// registry shared across threads stays race-free; reads are exact once
@@ -55,9 +58,16 @@ class Gauge {
 /// the covering bucket (Prometheus-style). Exact min/max/sum/count are
 /// tracked alongside, so p0/p100 are exact and interpolated quantiles are
 /// clamped into [min, max].
+///
+/// Concurrency: observations land in one of a fixed set of shards picked by
+/// the observing thread's id (each shard has its own mutex, so concurrent
+/// workers rarely contend); readers merge the shards. All integer state and
+/// min/max are exact regardless of interleaving; `sum` is the one field
+/// whose float-addition order depends on which thread observed what.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> upper_bounds);
+  Histogram(Histogram&& other);
 
   /// `count` buckets whose bounds grow geometrically from `start` by
   /// `factor` — the default shape for virtual-millisecond costs.
@@ -66,11 +76,11 @@ class Histogram {
 
   void Observe(double v);
 
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ > 0 ? min_ : 0.0; }
-  double max() const { return count_ > 0 ? max_ : 0.0; }
-  double Mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+  uint64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  double Mean() const;
 
   /// Estimated value at quantile q in [0, 1]. Returns 0 when empty.
   double Quantile(double q) const;
@@ -79,17 +89,36 @@ class Histogram {
   double P99() const { return Quantile(0.99); }
 
   const std::vector<double>& upper_bounds() const { return upper_bounds_; }
-  /// Per-bucket observation counts; index upper_bounds().size() is the
-  /// overflow bucket.
-  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+  /// Merged per-bucket observation counts; index upper_bounds().size() is
+  /// the overflow bucket. Returns a snapshot by value (the live counts are
+  /// sharded).
+  std::vector<uint64_t> bucket_counts() const;
 
  private:
+  static constexpr size_t kShards = 8;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<uint64_t> counts;  ///< upper_bounds_.size() + 1 entries.
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  /// A merged point-in-time view across shards.
+  struct Merged {
+    std::vector<uint64_t> counts;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  Merged Merge() const;
+  Shard& ShardForThisThread();
+
   std::vector<double> upper_bounds_;
-  std::vector<uint64_t> counts_;  ///< upper_bounds_.size() + 1 entries.
-  uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  Shard shards_[kShards];
 };
 
 /// Named metrics, injected into modules as part of an ObsContext instead of
@@ -97,10 +126,9 @@ class Histogram {
 /// long as the registry; returned pointers stay valid (node-based map).
 ///
 /// Creation (Get*) is mutex-guarded so threads sharing one registry can
-/// race on first use; the returned Counter/Gauge pointers are then safe to
-/// write from any thread (atomic), while Histogram pointers must only be
-/// observed from one thread at a time (per-run ownership — the harness
-/// contract). Read accessors are for the owner or post-join aggregation.
+/// race on first use; the returned Counter/Gauge/Histogram pointers are
+/// then safe to write from any thread (atomics / sharded locks). Read
+/// accessors are for the owner or post-join aggregation.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;

@@ -166,6 +166,10 @@ class ManifestReader {
         DIP_ASSIGN_OR_RETURN(int slots, Int(value, key));
         if (slots < 1) return Err(value, "'worker_slots' must be >= 1");
         config->worker_slots = slots;
+      } else if (key == "workers") {
+        DIP_ASSIGN_OR_RETURN(int workers, Int(value, key));
+        if (workers < 1) return Err(value, "'workers' must be >= 1");
+        config->workers = workers;
       } else if (key == "fault_rate") {
         DIP_ASSIGN_OR_RETURN(config->fault_rate, Fraction(value, key));
       } else if (key == "fault_spike_rate") {
@@ -420,6 +424,10 @@ Status ApplySweepValue(const std::string& field, double value,
     DIP_ASSIGN_OR_RETURN(config->worker_slots, integral(1));
     return Status::OK();
   }
+  if (field == "workers") {
+    DIP_ASSIGN_OR_RETURN(config->workers, integral(1));
+    return Status::OK();
+  }
   if (field == "seed") {
     if (value != std::floor(value) || value < 0.0 ||
         value > 9007199254740992.0) {
@@ -433,7 +441,7 @@ Status ApplySweepValue(const std::string& field, double value,
   return Status::InvalidArgument(
       "unknown sweep field '" + field +
       "' (expected datasize, time_scale, periods, seed, worker_slots, "
-      "error_rate or fault_rate)");
+      "workers, error_rate or fault_rate)");
 }
 
 Result<ScenarioManifest> ScenarioManifest::FromJsonText(

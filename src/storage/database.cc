@@ -12,6 +12,7 @@ Result<Table*> Database::CreateTable(const std::string& table_name,
   }
   DIP_RETURN_NOT_OK(schema.Validate());
   auto table = std::make_unique<Table>(table_name, std::move(schema));
+  table->set_database_name(name_);
   Table* ptr = table.get();
   tables_.emplace(table_name, std::move(table));
   return ptr;
@@ -113,6 +114,7 @@ Status Database::DropInsertTrigger(const std::string& table_name) {
 }
 
 int64_t Database::NextSequenceValue(const std::string& seq_name) {
+  std::lock_guard<std::mutex> lock(seq_mu_);
   return ++sequences_[seq_name];
 }
 

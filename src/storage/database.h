@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -70,6 +71,8 @@ class Database {
   Status DropInsertTrigger(const std::string& table_name);
 
   /// Monotone sequence generator (auto-created at first use, starts at 1).
+  /// Mutex-guarded: the federated engine draws instance ids from the engine
+  /// database's sequences on scheduler worker threads.
   int64_t NextSequenceValue(const std::string& seq_name);
 
   /// --- single-level transactions (snapshot / rollback) ---
@@ -96,6 +99,7 @@ class Database {
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, StoredProcedure> procedures_;
   std::map<std::string, InsertTrigger> triggers_;
+  mutable std::mutex seq_mu_;  ///< Guards sequences_ only.
   std::map<std::string, int64_t> sequences_;
   std::optional<std::map<std::string, Table::State>> snapshot_;
 };

@@ -1,11 +1,13 @@
 #ifndef DIPBENCH_STORAGE_TABLE_H_
 #define DIPBENCH_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/result.h"
@@ -13,6 +15,60 @@
 #include "src/types/schema.h"
 
 namespace dipbench {
+
+class Table;
+
+/// One instance's buffered appends to one table (intra-run scheduler,
+/// SPECIFICATION.md §13): rows an append-claimed process body inserted
+/// while capturing, held back until the scheduler flushes them in serial
+/// instance order at replay. `keys` dup-checks the buffer against itself
+/// (retries re-inserting their own rows are skipped exactly like the
+/// serial engine skips rows already in the table); duplicates against the
+/// base table are skipped at flush.
+struct AppendBuffer {
+  Table* table = nullptr;  ///< Bound on first buffered insert.
+  std::vector<Row> rows;
+  std::unordered_set<std::string> keys;  ///< serialized PKs already buffered
+};
+
+/// Thread-local redirection of Table::Insert into per-instance buffers.
+/// The engine allows exactly the (db, table) pairs the running instance
+/// claims as kAppendTable, installs the overlay on the capturing thread
+/// for the duration of the instance's attempts, and flushes the buffers at
+/// replay. Tables not listed are untouched by the overlay.
+class AppendOverlay {
+ public:
+  struct Entry {
+    std::string db;
+    std::string table;
+    AppendBuffer buf;
+  };
+
+  /// Registers db.table for append capture (no-op if already allowed).
+  void Allow(const std::string& db, const std::string& table);
+  /// The buffer for db.table, or nullptr when not allowed.
+  AppendBuffer* Find(const std::string& db, const std::string& table);
+  std::vector<Entry>& entries() { return entries_; }
+
+  /// The overlay installed on this thread, or nullptr.
+  static AppendOverlay* Current();
+
+  /// RAII installer; accepts nullptr (no-op) and restores the previous
+  /// overlay on destruction.
+  class Scope {
+   public:
+    explicit Scope(AppendOverlay* overlay);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    AppendOverlay* prev_;
+  };
+
+ private:
+  std::vector<Entry> entries_;  ///< Tiny (one or two claims); linear scan.
+};
 
 /// An in-memory row-store table.
 ///
@@ -31,13 +87,28 @@ class Table {
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
 
+  /// Name of the owning database, stamped by Database::CreateTable; ""
+  /// for free-standing tables (which no append overlay ever matches).
+  const std::string& database_name() const { return database_name_; }
+  void set_database_name(std::string db) { database_name_ = std::move(db); }
+
   /// Number of live rows.
   size_t size() const { return live_count_; }
   bool empty() const { return live_count_ == 0; }
 
   /// Validates arity/types against the schema and checks primary-key
   /// uniqueness. Returns AlreadyExists on a duplicate key.
+  ///
+  /// When the calling thread's AppendOverlay allows this table, the row is
+  /// validated, dup-checked against the overlay buffer only, and buffered
+  /// instead of inserted; FlushAppends applies buffers later (base-table
+  /// duplicates are skipped there, mirroring idempotent ETL loads).
   Status Insert(Row row);
+
+  /// Applies a captured append buffer: inserts every buffered row, silently
+  /// skipping base-table duplicates. Called by the scheduler's replay phase
+  /// (serial instance order) with no overlay installed.
+  Status FlushAppends(AppendBuffer* buf);
 
   /// Insert, replacing any existing row with the same primary key.
   Status InsertOrReplace(Row row);
@@ -109,9 +180,15 @@ class Table {
     return ordered_.count(index_name) > 0;
   }
 
-  /// Cumulative IO counters (monotone; survive Clear()).
-  uint64_t rows_read() const { return rows_read_; }
-  uint64_t rows_written() const { return rows_written_; }
+  /// Cumulative IO counters (monotone; survive Clear()). Atomic so
+  /// concurrent read-only scans under the intra-run scheduler can bump
+  /// rows_read() without racing; the totals are order-independent.
+  uint64_t rows_read() const {
+    return rows_read_.load(std::memory_order_relaxed);
+  }
+  uint64_t rows_written() const {
+    return rows_written_.load(std::memory_order_relaxed);
+  }
 
   /// Opaque snapshot of the table content (rows + indexes). IO counters
   /// are not part of the state.
@@ -146,6 +223,7 @@ class Table {
     std::multimap<Value, size_t, ValueLess> map;  // value -> slot
   };
 
+  Status BufferedInsert(AppendBuffer* buf, Row row);
   Status CheckRow(const Row& row) const;
   Row ExtractKey(const Row& row) const;
   size_t KeyHash(const Row& key) const;
@@ -155,6 +233,7 @@ class Table {
   void UnindexRow(size_t slot);
 
   std::string name_;
+  std::string database_name_;
   Schema schema_;
   std::vector<Row> rows_;
   std::vector<bool> live_;
@@ -163,8 +242,8 @@ class Table {
   std::unordered_multimap<size_t, size_t> pk_index_;
   std::unordered_map<std::string, SecondaryIndex> secondary_;
   std::map<std::string, OrderedIndex> ordered_;
-  mutable uint64_t rows_read_ = 0;
-  uint64_t rows_written_ = 0;
+  mutable std::atomic<uint64_t> rows_read_{0};
+  std::atomic<uint64_t> rows_written_{0};
 };
 
 }  // namespace dipbench
