@@ -52,7 +52,11 @@ int main(int argc, char** argv) {
       .Define("fault-rate", "endpoint call failure probability q "
                             "(enables 8-attempt retry + dead letters)")
       .Define("retry-attempts", "attempts per process instance")
-      .Define("exec-mode", "materialize | pipeline (default pipeline)")
+      .Define("exec-mode",
+              "materialize | pipeline | columnar (default pipeline)")
+      .Define("memory-budget",
+              "byte budget per blocking operator; 0 = unlimited (default). "
+              "Non-zero spills runs to disk; output is identical")
       .Define("workers", "real threads for the intra-run scheduler "
                          "(default 1 = serial; output is identical)");
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
@@ -123,17 +127,31 @@ int main(int argc, char** argv) {
     }
     base.workers = *workers;
   }
-  // --exec-mode=materialize|pipeline (default pipeline). Monitor output is
-  // identical between modes; the flag exists for parity checks and timing.
+  // --exec-mode=materialize|pipeline|columnar (default pipeline). Monitor
+  // output is identical between modes; the flag exists for parity checks
+  // and timing.
   const std::string exec_mode = flags.Get("exec-mode");
   if (exec_mode == "materialize") {
     SetExecMode(ExecMode::kMaterialize);
   } else if (exec_mode == "pipeline") {
     SetExecMode(ExecMode::kPipeline);
+  } else if (exec_mode == "columnar") {
+    SetExecMode(ExecMode::kColumnar);
   } else if (!exec_mode.empty()) {
     std::fprintf(stderr, "unknown --exec-mode=%s\n%s", exec_mode.c_str(),
                  flags.Usage().c_str());
     return 2;
+  }
+  // --memory-budget=BYTES makes blocking operators spill to disk past the
+  // budget; both figure runs keep byte-identical output for any value.
+  if (flags.Has("memory-budget")) {
+    Result<int> budget = flags.GetInt("memory-budget", 0);
+    if (!budget.ok() || *budget < 0) {
+      std::fprintf(stderr, "invalid --memory-budget\n%s",
+                   flags.Usage().c_str());
+      return 2;
+    }
+    base.operator_memory_budget = static_cast<size_t>(*budget);
   }
 
   // The observer (when requested) watches the Fig. 11 run (d = 0.1); the

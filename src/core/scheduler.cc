@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "src/ra/plan.h"
+#include "src/storage/spill.h"
 
 namespace dipbench {
 namespace core {
@@ -207,10 +208,13 @@ bool WaveRunner::Run(const WaveEdges& edges, int workers, const Hooks& hooks) {
   }
 
   // Pool threads inherit the submitting thread's (thread-local) relational
-  // exec mode, same as the inter-run harness pool.
+  // exec mode and operator memory budget, same as the inter-run harness
+  // pool.
   const ExecMode mode = CurrentExecMode();
+  const size_t budget = CurrentMemoryBudget();
   auto worker_loop = [&]() {
     ScopedExecMode scoped(mode);
+    ScopedMemoryBudget scoped_budget(budget);
     std::unique_lock<std::mutex> lock(mu);
     while (true) {
       ready_cv.wait(lock, [&] { return !ready.empty() || shutdown || abort; });

@@ -6,6 +6,7 @@
 #include "src/dipbench/processes.h"
 #include "src/net/fault.h"
 #include "src/dipbench/schedule.h"
+#include "src/storage/spill.h"
 
 namespace dipbench {
 
@@ -206,6 +207,12 @@ Result<BenchmarkResult> Client::Run() {
   // scheduler). Pure execution dial: outputs are byte-identical for any
   // value, so the default 1 keeps the serial engine exactly.
   engine_->SetExecWorkers(config_.workers);
+
+  // Operator memory budget for blocking plan operators, in effect for the
+  // whole run (the wave scheduler re-applies it on its pool threads). Spill
+  // telemetry lands in the run's metrics registry, never the cost ledger.
+  ScopedMemoryBudget budget(config_.operator_memory_budget);
+  ScopedSpillObserver spill_obs(obs_);
 
   // --- work phase ---
   for (int k = 0; k < config_.periods; ++k) {

@@ -111,6 +111,10 @@ std::string ScaleConfig::ToString() const {
   if (workers > 1) {
     out += StrFormat(", exec_workers=%d", workers);
   }
+  if (operator_memory_budget > 0) {
+    out += StrFormat(", memory_budget=%llu",
+                     static_cast<unsigned long long>(operator_memory_budget));
+  }
   // Scenario-manifest extensions, rendered only when present.
   if (!traffic.empty()) {
     out += ", traffic={";

@@ -141,6 +141,14 @@ struct ScaleConfig {
   /// byte-identical for any value. 1 keeps the serial event loop.
   int workers = 1;
 
+  /// Byte budget for blocking plan operators (sort, hash aggregate,
+  /// union-distinct, hash-join build) inside every process executed by this
+  /// run. 0 = unlimited: operators materialize in memory as before. A
+  /// non-zero budget makes them spill partitioned runs to disk and merge
+  /// out of core (src/storage/spill.h). Pure execution dial: rows, Monitor
+  /// CSVs, and cost counters are byte-identical for ANY value.
+  size_t operator_memory_budget = 0;
+
   /// Threads used by the Initializer's per-period data generation. Every
   /// seeding unit (one external database instance) draws from its own
   /// deterministically forked PRNG stream, so the generated data is byte-

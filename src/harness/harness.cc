@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "src/common/string_util.h"
+#include "src/storage/spill.h"
 
 namespace dipbench {
 namespace harness {
@@ -104,12 +105,15 @@ std::vector<RunOutcome> RunnerPool::RunTasks(
     std::vector<std::function<RunOutcome()>> tasks) {
   std::vector<RunOutcome> outcomes(tasks.size());
 
-  // Every job runs under the exec mode active on the submitting thread —
-  // the mode is thread-local (src/ra/plan.h), so fresh pool threads would
-  // otherwise silently fall back to the default.
+  // Every job runs under the exec mode and operator memory budget active on
+  // the submitting thread — both are thread-local (src/ra/plan.h,
+  // src/storage/spill.h), so fresh pool threads would otherwise silently
+  // fall back to the defaults.
   const ExecMode mode = CurrentExecMode();
+  const size_t budget = CurrentMemoryBudget();
   auto run_task = [&](size_t i) {
     ScopedExecMode scoped(mode);
+    ScopedMemoryBudget scoped_budget(budget);
     try {
       outcomes[i] = tasks[i]();
     } catch (const std::exception& e) {

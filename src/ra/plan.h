@@ -9,6 +9,7 @@
 #include "src/common/result.h"
 #include "src/ra/expr.h"
 #include "src/storage/table.h"
+#include "src/types/column.h"
 #include "src/types/schema.h"
 
 namespace dipbench {
@@ -49,7 +50,14 @@ struct ExecContext {
 ///                  Open/Next/Close cursor chain; only inherently blocking
 ///                  operators (sort, aggregation, union-distinct, index range
 ///                  scan, and the hash-join build side) materialize.
-enum class ExecMode { kMaterialize, kPipeline };
+///   kColumnar    — like kPipeline, but scan→filter→project prefixes run as
+///                  column-at-a-time kernels over shared table snapshots
+///                  (selection vectors instead of row copies) and grouped
+///                  aggregation uses a vectorized hash path; a shim converts
+///                  columns back to rows where a row-only operator takes
+///                  over. Rows, schemas, and cost counters are identical to
+///                  the other modes.
+enum class ExecMode { kMaterialize, kPipeline, kColumnar };
 
 /// Per-THREAD execution mode, defaulting to kPipeline on every thread. Each
 /// DES engine runs single-threaded, but independent benchmark runs may now
@@ -121,6 +129,25 @@ class BatchCursor {
 
 using CursorPtr = std::unique_ptr<BatchCursor>;
 
+/// Pull-based iterator that yields columnar batches (same protocol as
+/// BatchCursor: Open once, Next until the batch comes back empty, Close).
+/// Batches alias immutable shared column arrays — a filter narrows the
+/// selection vector without touching a single cell. Only a prefix of a plan
+/// (scan → filter → project over supported shapes) runs columnar; the
+/// ColumnShimCursor in plan.cc adapts the boundary back to row batches.
+class ColumnarCursor {
+ public:
+  virtual ~ColumnarCursor() = default;
+  virtual Status Open() = 0;
+  /// Clears `*batch` and fills it with the next chunk; empty = end of
+  /// stream.
+  virtual Status Next(ColumnBatch* batch) = 0;
+  virtual void Close() = 0;
+  virtual const Schema& schema() const = 0;
+};
+
+using ColumnarCursorPtr = std::unique_ptr<ColumnarCursor>;
+
 /// Opens `cursor`, pulls it to end of stream, and returns the accumulated
 /// RowSet (schema read after end of stream, when it is final).
 Result<RowSet> DrainCursor(BatchCursor* cursor);
@@ -143,6 +170,12 @@ class PlanNode {
   /// operators keep the adapter — their children still stream, because the
   /// adapter executes them through the mode-dispatching Execute().
   virtual CursorPtr MakeCursor(ExecContext* ctx) const;
+
+  /// Returns a columnar cursor over this subtree, or nullptr when the
+  /// operator (or this instance's parameters) has no columnar kernel. The
+  /// default is nullptr; scan/filter/project override it. Callers fall
+  /// back to MakeCursor when they get nullptr, so partial support is fine.
+  virtual ColumnarCursorPtr MakeColumnarCursor(ExecContext* ctx) const;
 
   /// One-line description (operator name + parameters).
   virtual std::string ToString() const = 0;
@@ -217,9 +250,11 @@ PlanPtr Aggregate(PlanPtr child, std::vector<std::string> group_by,
                   std::vector<AggregateItem> aggregates);
 /// Stable multi-key sort.
 PlanPtr Sort(PlanPtr child, std::vector<SortKey> keys);
-/// Keeps the first `limit` rows. For cost determinism the pipelined cursor
-/// still drains its child fully (counters must not depend on the mode);
-/// LIMIT here bounds result size, not work, exactly as in legacy mode.
+/// Keeps the first `limit` rows. Streaming cursors short-circuit: once the
+/// limit is reached the child is closed eagerly and nothing more is pulled,
+/// so upstream rows_read/rows_processed are bounded by O(limit + batch
+/// size) instead of the full input (SPECIFICATION.md §14.4 documents the
+/// resulting counter difference vs. materializing mode).
 PlanPtr Limit(PlanPtr child, size_t limit);
 
 /// Inserts every result row into `table` (append; duplicate-key rows are

@@ -194,6 +194,9 @@ class ManifestReader {
         DIP_ASSIGN_OR_RETURN(int jobs, Int(value, key));
         if (jobs < 1) return Err(value, "'datagen_jobs' must be >= 1");
         config->datagen_jobs = jobs;
+      } else if (key == "memory_budget") {
+        DIP_ASSIGN_OR_RETURN(uint64_t bytes, Uint64(value, key));
+        config->operator_memory_budget = static_cast<size_t>(bytes);
       } else {
         return Err(value, "unknown config key '" + key + "'");
       }
@@ -438,10 +441,22 @@ Status ApplySweepValue(const std::string& field, double value,
     config->seed = static_cast<uint64_t>(value);
     return Status::OK();
   }
+  if (field == "memory_budget") {
+    if (value != std::floor(value) || value < 0.0 ||
+        value > 9007199254740992.0) {
+      return Status::InvalidArgument(
+          StrFormat("sweep value %g for 'memory_budget' must be a "
+                    "non-negative integer", value));
+    }
+    // Sweeping the budget is a pure execution-dial sweep: every point is
+    // required (and tested) to produce byte-identical outputs.
+    config->operator_memory_budget = static_cast<size_t>(value);
+    return Status::OK();
+  }
   return Status::InvalidArgument(
       "unknown sweep field '" + field +
       "' (expected datasize, time_scale, periods, seed, worker_slots, "
-      "workers, error_rate or fault_rate)");
+      "workers, memory_budget, error_rate or fault_rate)");
 }
 
 Result<ScenarioManifest> ScenarioManifest::FromJsonText(

@@ -60,8 +60,8 @@ struct ScenarioManifest {
 
 /// Applies one sweep assignment onto a config. Shared by Expand() and the
 /// manifest validator so both agree on the set of sweepable fields:
-/// datasize, time_scale, periods, seed, worker_slots, workers, error_rate,
-/// fault_rate.
+/// datasize, time_scale, periods, seed, worker_slots, workers,
+/// memory_budget, error_rate, fault_rate.
 Status ApplySweepValue(const std::string& field, double value,
                        ScaleConfig* config);
 

@@ -148,6 +148,7 @@ Status Table::Insert(Row row) {
   ++live_count_;
   ++rows_written_;
   IndexRow(rows_.size() - 1);
+  Touch();
   return Status::OK();
 }
 
@@ -211,6 +212,7 @@ Status Table::InsertOrReplace(Row row) {
   ++live_count_;
   ++rows_written_;
   IndexRow(rows_.size() - 1);
+  Touch();
   return Status::OK();
 }
 
@@ -246,6 +248,7 @@ size_t Table::DeleteWhere(const std::function<bool(const Row&)>& pred) {
       ++removed;
     }
   }
+  if (removed > 0) Touch();
   return removed;
 }
 
@@ -256,6 +259,7 @@ void Table::Clear() {
   pk_index_.clear();
   for (auto& [name, idx] : secondary_) idx.map.clear();
   for (auto& [name, idx] : ordered_) idx.map.clear();
+  Touch();
 }
 
 Result<size_t> Table::UpdateWhere(const std::function<bool(const Row&)>& pred,
@@ -272,11 +276,13 @@ Result<size_t> Table::UpdateWhere(const std::function<bool(const Row&)>& pred,
     Status st = CheckRow(rows_[slot]);
     if (!st.ok()) {
       IndexRow(slot);  // restore index entries before bailing
+      Touch();         // the updater already mutated the row in place
       return st;
     }
     if (!schema_.primary_key().empty() &&
         !RowsEqual(old_key, ExtractKey(rows_[slot]))) {
       IndexRow(slot);
+      Touch();
       return Status::ConstraintViolation(
           "update must not modify primary key of " + name_);
     }
@@ -284,6 +290,7 @@ Result<size_t> Table::UpdateWhere(const std::function<bool(const Row&)>& pred,
     ++updated;
     ++rows_written_;
   }
+  if (updated > 0) Touch();
   return updated;
 }
 
@@ -452,15 +459,43 @@ void Table::RestoreState(State state) {
       idx.map.emplace(rows_[slot][idx.column], slot);
     }
   }
+  Touch();
 }
 
 size_t Table::ByteSize() const {
+  const uint64_t v = version();
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (byte_size_version_ == v) return byte_size_cache_;
+  }
   size_t total = 0;
   for (size_t slot = 0; slot < rows_.size(); ++slot) {
     if (!live_[slot]) continue;
-    for (const auto& v : rows_[slot]) total += v.ByteSize();
+    for (const auto& val : rows_[slot]) total += val.ByteSize();
   }
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  byte_size_version_ = v;
+  byte_size_cache_ = total;
   return total;
+}
+
+std::shared_ptr<const ColumnFrame> Table::ColumnarSnapshot() const {
+  const uint64_t v = version();
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (snapshot_version_ == v && snapshot_ != nullptr) return snapshot_;
+  }
+  ColumnFrameBuilder builder(schema_);
+  builder.Reserve(live_count_);
+  for (size_t slot = 0; slot < rows_.size(); ++slot) {
+    if (!live_[slot]) continue;
+    builder.AddRow(rows_[slot]);
+  }
+  auto frame = builder.Finish();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  snapshot_version_ = v;
+  snapshot_ = frame;
+  return frame;
 }
 
 }  // namespace dipbench

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -12,6 +14,7 @@
 
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/types/column.h"
 #include "src/types/schema.h"
 
 namespace dipbench {
@@ -205,8 +208,29 @@ class Table {
   /// Restores a previously captured state.
   void RestoreState(State state);
 
-  /// Approximate live data footprint in bytes.
+  /// Approximate live data footprint in bytes. Memoized against the
+  /// content version; a call after a mutation recomputes once, further
+  /// calls are O(1). Used on every simulated network charge, which made
+  /// the old walk-all-rows implementation an accidental O(rows) hot spot.
   size_t ByteSize() const;
+
+  /// Content version: bumped by every mutating operation (insert, replace,
+  /// delete, clear, update, restore). Lets caches (ByteSize memo, columnar
+  /// snapshots) detect staleness without walking the data.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  /// Immutable columnar snapshot of the live rows in insertion order
+  /// (same order as ForEach/Scan). Cached per content version; building
+  /// the snapshot does NOT charge rows_read() — columnar scans charge
+  /// reads per delivered batch via ChargeRead so the cost ledger matches
+  /// the row path exactly.
+  std::shared_ptr<const ColumnFrame> ColumnarSnapshot() const;
+
+  /// Adds `n` to rows_read(); columnar scan cursors use this to replicate
+  /// the row cursor's per-row read accounting.
+  void ChargeRead(uint64_t n) const {
+    rows_read_.fetch_add(n, std::memory_order_relaxed);
+  }
 
  private:
   struct SecondaryIndex {
@@ -222,6 +246,10 @@ class Table {
     size_t column = 0;
     std::multimap<Value, size_t, ValueLess> map;  // value -> slot
   };
+
+  // Marks the content changed: bumps version_ so ByteSize memo and
+  // columnar snapshot caches invalidate.
+  void Touch() { version_.fetch_add(1, std::memory_order_release); }
 
   Status BufferedInsert(AppendBuffer* buf, Row row);
   Status CheckRow(const Row& row) const;
@@ -244,6 +272,15 @@ class Table {
   std::map<std::string, OrderedIndex> ordered_;
   mutable std::atomic<uint64_t> rows_read_{0};
   std::atomic<uint64_t> rows_written_{0};
+
+  // Content version + caches derived from it. The mutex only guards the
+  // cache slots (cheap, uncontended: mutators run serially per table).
+  std::atomic<uint64_t> version_{1};
+  mutable std::mutex cache_mu_;
+  mutable uint64_t byte_size_version_ = 0;  // 0 = memo empty
+  mutable size_t byte_size_cache_ = 0;
+  mutable uint64_t snapshot_version_ = 0;  // 0 = no snapshot cached
+  mutable std::shared_ptr<const ColumnFrame> snapshot_;
 };
 
 }  // namespace dipbench

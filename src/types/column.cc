@@ -1,0 +1,215 @@
+#include "src/types/column.h"
+
+namespace dipbench {
+
+namespace {
+bool IsIntFamily(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDate || t == DataType::kBool;
+}
+
+int64_t IntPayload(const Value& v) {
+  switch (v.type()) {
+    case DataType::kInt64:
+      return v.AsInt();
+    case DataType::kDate:
+      return v.AsDate();
+    case DataType::kBool:
+      return v.AsBool() ? 1 : 0;
+    default:
+      return 0;
+  }
+}
+}  // namespace
+
+void ColumnVector::Reserve(size_t n) {
+  switch (rep_) {
+    case Rep::kInt:
+      ints_.reserve(n);
+      break;
+    case Rep::kDouble:
+      doubles_.reserve(n);
+      break;
+    case Rep::kDict:
+      codes_.reserve(n);
+      break;
+    case Rep::kValue:
+      values_.reserve(n);
+      break;
+    case Rep::kEmpty:
+      break;
+  }
+}
+
+void ColumnVector::EnsureNulls() {
+  if (nulls_.empty()) nulls_.assign(size_, 0);
+}
+
+void ColumnVector::DecideRep(const Value& v) {
+  // First non-null value decides the representation; `size_` leading nulls
+  // (all recorded in nulls_) get placeholder slots backfilled.
+  value_type_ = v.type();
+  if (IsIntFamily(v.type())) {
+    rep_ = Rep::kInt;
+    ints_.assign(size_, 0);
+  } else if (v.type() == DataType::kDouble) {
+    rep_ = Rep::kDouble;
+    doubles_.assign(size_, 0.0);
+  } else if (v.type() == DataType::kString) {
+    rep_ = Rep::kDict;
+    codes_.assign(size_, -1);
+  } else {
+    rep_ = Rep::kValue;
+    value_type_ = DataType::kNull;
+    values_.assign(size_, Value::Null());
+  }
+}
+
+void ColumnVector::DegradeToValues() {
+  std::vector<Value> vals;
+  vals.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) vals.push_back(GetValue(i));
+  rep_ = Rep::kValue;
+  value_type_ = DataType::kNull;
+  values_ = std::move(vals);
+  ints_.clear();
+  doubles_.clear();
+  codes_.clear();
+  dict_.clear();
+  dict_lookup_.clear();
+}
+
+void ColumnVector::Append(const Value& v) {
+  if (v.is_null()) {
+    EnsureNulls();
+    nulls_.push_back(1);
+    switch (rep_) {
+      case Rep::kInt:
+        ints_.push_back(0);
+        break;
+      case Rep::kDouble:
+        doubles_.push_back(0.0);
+        break;
+      case Rep::kDict:
+        codes_.push_back(-1);
+        break;
+      case Rep::kValue:
+        values_.push_back(Value::Null());
+        break;
+      case Rep::kEmpty:
+        break;  // rep still undecided; size_ tracks the slot
+    }
+    ++size_;
+    return;
+  }
+  if (rep_ == Rep::kEmpty) DecideRep(v);
+  if (rep_ != Rep::kValue && v.type() != value_type_) DegradeToValues();
+  if (!nulls_.empty()) nulls_.push_back(0);
+  switch (rep_) {
+    case Rep::kInt:
+      ints_.push_back(IntPayload(v));
+      break;
+    case Rep::kDouble:
+      doubles_.push_back(v.AsDouble());
+      break;
+    case Rep::kDict: {
+      const std::string& s = v.AsString();
+      auto [it, inserted] = dict_lookup_.try_emplace(
+          s, static_cast<int32_t>(dict_.size()));
+      if (inserted) dict_.push_back(s);
+      codes_.push_back(it->second);
+      break;
+    }
+    case Rep::kValue:
+      values_.push_back(v);
+      break;
+    case Rep::kEmpty:
+      break;  // unreachable: DecideRep always leaves a concrete rep
+  }
+  ++size_;
+}
+
+int32_t ColumnVector::FindDictCode(const std::string& s) const {
+  auto it = dict_lookup_.find(s);
+  return it == dict_lookup_.end() ? -1 : it->second;
+}
+
+Value ColumnVector::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (rep_) {
+    case Rep::kInt:
+      switch (value_type_) {
+        case DataType::kInt64:
+          return Value::Int(ints_[i]);
+        case DataType::kDate:
+          return Value::Date(ints_[i]);
+        case DataType::kBool:
+          return Value::Bool(ints_[i] != 0);
+        default:
+          return Value::Null();
+      }
+    case Rep::kDouble:
+      return Value::Double(doubles_[i]);
+    case Rep::kDict:
+      return Value::String(dict_[codes_[i]]);
+    case Rep::kValue:
+      return values_[i];
+    case Rep::kEmpty:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+size_t ColumnVector::ByteSize() const {
+  size_t total = nulls_.size() + ints_.size() * 8 + doubles_.size() * 8 +
+                 codes_.size() * 4;
+  for (const auto& s : dict_) total += s.size() + 32;
+  for (const auto& v : values_) total += v.ByteSize() + 16;
+  return total;
+}
+
+size_t ColumnFrame::ByteSize() const {
+  size_t total = 0;
+  for (const auto& c : columns) total += c->ByteSize();
+  return total;
+}
+
+ColumnFrameBuilder::ColumnFrameBuilder(Schema schema)
+    : frame_(std::make_shared<ColumnFrame>()) {
+  frame_->schema = std::move(schema);
+  frame_->columns.reserve(frame_->schema.num_columns());
+  for (size_t i = 0; i < frame_->schema.num_columns(); ++i) {
+    frame_->columns.push_back(std::make_shared<ColumnVector>());
+  }
+}
+
+void ColumnFrameBuilder::Reserve(size_t rows) {
+  for (auto& c : frame_->columns) c->Reserve(rows);
+}
+
+void ColumnFrameBuilder::AddRow(const Row& row) {
+  const size_t n = frame_->columns.size();
+  for (size_t c = 0; c < n; ++c) {
+    frame_->columns[c]->Append(c < row.size() ? row[c] : Value::Null());
+  }
+  ++frame_->num_rows;
+}
+
+std::shared_ptr<const ColumnFrame> ColumnFrameBuilder::Finish() {
+  return std::move(frame_);
+}
+
+Row MaterializeColumnRow(const ColumnBatch& batch, size_t i) {
+  Row row;
+  row.reserve(batch.columns.size());
+  const uint32_t p = batch.phys(i);
+  for (const auto& col : batch.columns) row.push_back(col->GetValue(p));
+  return row;
+}
+
+void AppendColumnRows(const ColumnBatch& batch, std::vector<Row>* out) {
+  const size_t n = batch.size();
+  out->reserve(out->size() + n);
+  for (size_t i = 0; i < n; ++i) out->push_back(MaterializeColumnRow(batch, i));
+}
+
+}  // namespace dipbench

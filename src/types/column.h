@@ -1,0 +1,132 @@
+#ifndef DIPBENCH_TYPES_COLUMN_H_
+#define DIPBENCH_TYPES_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/types/schema.h"
+#include "src/types/value.h"
+
+namespace dipbench {
+
+/// One column of a relation chunk in columnar (struct-of-arrays) layout.
+///
+/// The representation is chosen from the data: integer-family values
+/// (int64/date/bool) land in a contiguous int64 array, doubles in a double
+/// array, and strings are dictionary-encoded (codes + first-appearance
+/// dictionary, deduplicated so code equality is string equality). A column
+/// that turns out to be type-mixed degrades to a plain Value array, which
+/// keeps every consumer correct — kernels just lose their tight loop.
+/// NULLs live in a lazily allocated byte map; the typed arrays hold
+/// placeholders at null slots.
+///
+/// Values round-trip exactly: GetValue(i) reconstructs the Value that was
+/// appended (type included), which is what the row/column conversion shims
+/// and the determinism contract rely on.
+class ColumnVector {
+ public:
+  enum class Rep : uint8_t { kEmpty, kInt, kDouble, kDict, kValue };
+
+  void Reserve(size_t n);
+  void Append(const Value& v);
+
+  size_t size() const { return size_; }
+  Rep rep() const { return rep_; }
+  /// Uniform type of the non-null values (kInt64/kDate/kBool for kInt,
+  /// kDouble, kString for kDict). kNull for kEmpty/kValue representations.
+  DataType value_type() const { return value_type_; }
+
+  bool has_nulls() const { return !nulls_.empty(); }
+  bool IsNull(size_t i) const { return !nulls_.empty() && nulls_[i] != 0; }
+
+  /// Raw array views; valid only for the matching representation.
+  const int64_t* ints() const { return ints_.data(); }
+  const double* doubles() const { return doubles_.data(); }
+  const int32_t* codes() const { return codes_.data(); }
+  const std::vector<std::string>& dict() const { return dict_; }
+  /// Dictionary code of `s`, or -1 when the string never appeared.
+  int32_t FindDictCode(const std::string& s) const;
+
+  /// Reconstructs the i-th cell as a Value (exact type round trip).
+  Value GetValue(size_t i) const;
+
+  /// Approximate footprint in bytes (budget accounting).
+  size_t ByteSize() const;
+
+ private:
+  void DecideRep(const Value& v);
+  void DegradeToValues();
+  void EnsureNulls();
+
+  Rep rep_ = Rep::kEmpty;
+  DataType value_type_ = DataType::kNull;
+  size_t size_ = 0;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<int32_t> codes_;
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, int32_t> dict_lookup_;
+  std::vector<Value> values_;
+  std::vector<uint8_t> nulls_;  ///< empty = no nulls so far
+};
+
+/// A fully materialized relation in columnar layout: one ColumnVector per
+/// schema column, shared immutably (shared_ptr) so batches and cached table
+/// snapshots can alias the same physical arrays.
+struct ColumnFrame {
+  Schema schema;
+  std::vector<std::shared_ptr<ColumnVector>> columns;
+  size_t num_rows = 0;
+
+  size_t ByteSize() const;
+};
+
+/// Builds a ColumnFrame row by row (table snapshots, tests).
+class ColumnFrameBuilder {
+ public:
+  explicit ColumnFrameBuilder(Schema schema);
+  void Reserve(size_t rows);
+  void AddRow(const Row& row);
+  std::shared_ptr<const ColumnFrame> Finish();
+
+ private:
+  std::shared_ptr<ColumnFrame> frame_;
+};
+
+/// One chunk of rows flowing through a columnar cursor chain: shared
+/// physical columns plus either a contiguous window [offset, offset+length)
+/// or an explicit ascending selection vector of physical row indices.
+/// Filters narrow the selection without copying any cell.
+struct ColumnBatch {
+  std::vector<std::shared_ptr<const ColumnVector>> columns;
+  size_t offset = 0;
+  size_t length = 0;
+  bool has_sel = false;
+  std::vector<uint32_t> sel;
+
+  size_t size() const { return has_sel ? sel.size() : length; }
+  bool empty() const { return size() == 0; }
+  /// Physical row index of logical row i.
+  uint32_t phys(size_t i) const {
+    return has_sel ? sel[i] : static_cast<uint32_t>(offset + i);
+  }
+  void clear() {
+    columns.clear();
+    offset = 0;
+    length = 0;
+    has_sel = false;
+    sel.clear();
+  }
+};
+
+/// Reconstructs logical row i of the batch as a Row.
+Row MaterializeColumnRow(const ColumnBatch& batch, size_t i);
+/// Appends every logical row of the batch to *out (the row/column shim).
+void AppendColumnRows(const ColumnBatch& batch, std::vector<Row>* out);
+
+}  // namespace dipbench
+
+#endif  // DIPBENCH_TYPES_COLUMN_H_

@@ -1,0 +1,402 @@
+// Unit tests for the columnar substrate: ColumnVector representations
+// (dictionary-encoded strings included), value round-trips, selection
+// vectors produced by expression kernels vs row-at-a-time evaluation, and
+// the spill layer (row codec round-trip, run writers/readers, and
+// merge-order determinism of the spilling operators).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ra/expr.h"
+#include "src/ra/plan.h"
+#include "src/storage/database.h"
+#include "src/storage/spill.h"
+#include "src/types/column.h"
+
+namespace dipbench {
+namespace {
+
+// --- ColumnVector representations ---------------------------------------
+
+TEST(ColumnVectorTest, IntFamilyUsesIntArray) {
+  ColumnVector col;
+  col.Append(Value::Int(7));
+  col.Append(Value::Int(-3));
+  ASSERT_EQ(col.rep(), ColumnVector::Rep::kInt);
+  EXPECT_EQ(col.value_type(), DataType::kInt64);
+  EXPECT_EQ(col.ints()[0], 7);
+  EXPECT_EQ(col.ints()[1], -3);
+  EXPECT_EQ(col.GetValue(0), Value::Int(7));
+  EXPECT_EQ(col.GetValue(1), Value::Int(-3));
+}
+
+TEST(ColumnVectorTest, DatesAndBoolsRoundTripTheirType) {
+  ColumnVector dates;
+  dates.Append(Value::DateYmd(2008, 4, 12));
+  ASSERT_EQ(dates.rep(), ColumnVector::Rep::kInt);
+  EXPECT_EQ(dates.value_type(), DataType::kDate);
+  EXPECT_EQ(dates.GetValue(0), Value::DateYmd(2008, 4, 12));
+  EXPECT_EQ(dates.GetValue(0).type(), DataType::kDate);
+
+  ColumnVector bools;
+  bools.Append(Value::Bool(true));
+  bools.Append(Value::Bool(false));
+  ASSERT_EQ(bools.rep(), ColumnVector::Rep::kInt);
+  EXPECT_EQ(bools.GetValue(0), Value::Bool(true));
+  EXPECT_EQ(bools.GetValue(1).type(), DataType::kBool);
+}
+
+TEST(ColumnVectorTest, DoublesRoundTripBitExactly) {
+  ColumnVector col;
+  col.Append(Value::Double(0.1 + 0.2));  // not representable exactly
+  col.Append(Value::Double(-0.0));
+  ASSERT_EQ(col.rep(), ColumnVector::Rep::kDouble);
+  EXPECT_EQ(col.GetValue(0), Value::Double(0.1 + 0.2));
+  EXPECT_EQ(col.doubles()[1], -0.0);
+}
+
+TEST(ColumnVectorTest, StringsDictionaryEncode) {
+  ColumnVector col;
+  for (const char* s : {"DE", "FR", "DE", "DE", "US", "FR"}) {
+    col.Append(Value::String(s));
+  }
+  ASSERT_EQ(col.rep(), ColumnVector::Rep::kDict);
+  // First-appearance dictionary, deduplicated: code equality is string
+  // equality.
+  ASSERT_EQ(col.dict().size(), 3u);
+  EXPECT_EQ(col.dict()[0], "DE");
+  EXPECT_EQ(col.dict()[1], "FR");
+  EXPECT_EQ(col.dict()[2], "US");
+  EXPECT_EQ(col.codes()[0], col.codes()[2]);
+  EXPECT_EQ(col.codes()[0], col.codes()[3]);
+  EXPECT_NE(col.codes()[0], col.codes()[1]);
+  EXPECT_EQ(col.FindDictCode("FR"), 1);
+  EXPECT_EQ(col.FindDictCode("XX"), -1);
+  for (size_t i = 0; i < col.size(); ++i) {
+    EXPECT_EQ(col.GetValue(i).type(), DataType::kString);
+  }
+  EXPECT_EQ(col.GetValue(4), Value::String("US"));
+}
+
+TEST(ColumnVectorTest, NullsTrackedInByteMap) {
+  ColumnVector col;
+  col.Append(Value::Int(1));
+  col.Append(Value::Null());
+  col.Append(Value::Int(3));
+  ASSERT_EQ(col.rep(), ColumnVector::Rep::kInt);
+  EXPECT_TRUE(col.has_nulls());
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.GetValue(1), Value::Null());
+  EXPECT_EQ(col.GetValue(2), Value::Int(3));
+}
+
+TEST(ColumnVectorTest, MixedTypesDegradeToValues) {
+  ColumnVector col;
+  col.Append(Value::Int(1));
+  col.Append(Value::String("x"));  // type mix: degrade
+  ASSERT_EQ(col.rep(), ColumnVector::Rep::kValue);
+  EXPECT_EQ(col.GetValue(0), Value::Int(1));
+  EXPECT_EQ(col.GetValue(1), Value::String("x"));
+}
+
+TEST(ColumnFrameBuilderTest, FrameRoundTripsRows) {
+  Schema s;
+  s.AddColumn("k", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString)
+      .AddColumn("v", DataType::kDouble);
+  ColumnFrameBuilder builder(s);
+  std::vector<Row> rows;
+  for (int i = 0; i < 10; ++i) {
+    rows.push_back({Value::Int(i), Value::String(i % 2 ? "odd" : "even"),
+                    i % 3 == 0 ? Value::Null() : Value::Double(i * 1.5)});
+    builder.AddRow(rows.back());
+  }
+  auto frame = builder.Finish();
+  ASSERT_EQ(frame->num_rows, 10u);
+  ASSERT_EQ(frame->columns.size(), 3u);
+  ColumnBatch batch;
+  batch.columns.assign(frame->columns.begin(), frame->columns.end());
+  batch.offset = 0;
+  batch.length = frame->num_rows;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(MaterializeColumnRow(batch, i), rows[i]) << "row " << i;
+  }
+}
+
+// --- Selection vectors: kernels vs row evaluation ------------------------
+
+class SelectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_.AddColumn("k", DataType::kInt64, false)
+        .AddColumn("v", DataType::kDouble)
+        .AddColumn("tag", DataType::kString)
+        .AddColumn("flag", DataType::kBool);
+    ColumnFrameBuilder builder(schema_);
+    for (int i = 0; i < 200; ++i) {
+      Row row = {Value::Int(i),
+                 i % 7 == 0 ? Value::Null() : Value::Double(i * 0.25),
+                 Value::String(i % 3 == 0 ? "fizz" : (i % 5 == 0 ? "buzz"
+                                                                 : "plain")),
+                 Value::Bool(i % 2 == 0)};
+      rows_.push_back(row);
+      builder.AddRow(row);
+    }
+    frame_ = builder.Finish();
+    batch_.columns.assign(frame_->columns.begin(), frame_->columns.end());
+    batch_.offset = 0;
+    batch_.length = frame_->num_rows;
+  }
+
+  /// The kernel output must equal the indices where row-at-a-time Eval
+  /// keeps the row (non-null true) — the FilterCursor contract.
+  void ExpectKernelMatchesRows(const ExprPtr& pred) {
+    std::vector<uint32_t> sel;
+    ASSERT_TRUE(pred->EvalSelection(batch_, schema_, &sel).ok())
+        << pred->ToString();
+    std::vector<uint32_t> expected;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      auto v = pred->Eval(rows_[i], schema_);
+      ASSERT_TRUE(v.ok()) << pred->ToString();
+      if (!v->is_null() && v->type() == DataType::kBool && v->AsBool()) {
+        expected.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    EXPECT_EQ(sel, expected) << pred->ToString();
+  }
+
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::shared_ptr<const ColumnFrame> frame_;
+  ColumnBatch batch_;
+};
+
+TEST_F(SelectionTest, NumericComparisons) {
+  ExpectKernelMatchesRows(Gt(Col("v"), Lit(20.0)));
+  ExpectKernelMatchesRows(Le(Col("k"), Lit(int64_t{42})));
+  // Literal on the left (mirrored operator).
+  ExpectKernelMatchesRows(Lt(Lit(30.0), Col("v")));
+  // Cross-type numeric compare: int column vs double literal goes through
+  // the same double conversion Value::Compare uses.
+  ExpectKernelMatchesRows(Ge(Col("k"), Lit(99.5)));
+  // Column vs column.
+  ExpectKernelMatchesRows(Gt(Col("v"), Col("k")));
+}
+
+TEST_F(SelectionTest, DictStringComparisons) {
+  ExpectKernelMatchesRows(Eq(Col("tag"), Lit("fizz")));
+  ExpectKernelMatchesRows(Ne(Col("tag"), Lit("plain")));
+  // A needle absent from the dictionary selects nothing (Eq) /
+  // everything non-null (Ne).
+  ExpectKernelMatchesRows(Eq(Col("tag"), Lit("absent")));
+  ExpectKernelMatchesRows(Ne(Col("tag"), Lit("absent")));
+  ExpectKernelMatchesRows(Lt(Col("tag"), Lit("fizz")));
+}
+
+TEST_F(SelectionTest, LogicalConnectivesAndNulls) {
+  ExpectKernelMatchesRows(And(Gt(Col("v"), Lit(5.0)),
+                              Eq(Col("tag"), Lit("plain"))));
+  ExpectKernelMatchesRows(Or(Eq(Col("tag"), Lit("fizz")),
+                             Le(Col("k"), Lit(int64_t{10}))));
+  ExpectKernelMatchesRows(Not(Eq(Col("tag"), Lit("buzz"))));
+  ExpectKernelMatchesRows(IsNull(Col("v")));
+  ExpectKernelMatchesRows(Not(IsNull(Col("v"))));
+  // NULL v: comparisons over it are NULL, which AND/OR must propagate the
+  // same way the row evaluator does.
+  ExpectKernelMatchesRows(Or(Gt(Col("v"), Lit(1e9)), Col("flag")));
+  ExpectKernelMatchesRows(And(Gt(Col("v"), Lit(0.0)), Col("flag")));
+}
+
+TEST_F(SelectionTest, KernelsComposeOverNarrowedSelection) {
+  // Run one kernel, then a second over the surviving selection: equal to
+  // the conjunction evaluated row at a time.
+  std::vector<uint32_t> first;
+  ASSERT_TRUE(Gt(Col("v"), Lit(10.0))
+                  ->EvalSelection(batch_, schema_, &first)
+                  .ok());
+  ColumnBatch narrowed = batch_;
+  narrowed.has_sel = true;
+  narrowed.sel = first;
+  std::vector<uint32_t> second;
+  ASSERT_TRUE(Eq(Col("tag"), Lit("fizz"))
+                  ->EvalSelection(narrowed, schema_, &second)
+                  .ok());
+  std::vector<uint32_t> expected;
+  ExprPtr both = And(Gt(Col("v"), Lit(10.0)), Eq(Col("tag"), Lit("fizz")));
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    auto v = both->Eval(rows_[i], schema_);
+    ASSERT_TRUE(v.ok());
+    if (!v->is_null() && v->type() == DataType::kBool && v->AsBool()) {
+      expected.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  EXPECT_EQ(second, expected);
+}
+
+// --- Spill layer ---------------------------------------------------------
+
+TEST(SpillCodecTest, RowsRoundTripBitExactly) {
+  std::vector<Row> rows = {
+      {Value::Int(42), Value::Double(0.1 + 0.2), Value::String("héllo"),
+       Value::Null(), Value::Bool(true), Value::DateYmd(2008, 4, 12)},
+      {},  // empty row
+      {Value::String(std::string("\0binary\xff", 8))},
+  };
+  std::string buf;
+  for (const Row& r : rows) EncodeRow(r, &buf);
+  size_t pos = 0;
+  for (const Row& r : rows) {
+    Row decoded;
+    ASSERT_TRUE(DecodeRow(buf, &pos, &decoded));
+    ASSERT_EQ(decoded.size(), r.size());
+    for (size_t i = 0; i < r.size(); ++i) {
+      EXPECT_EQ(decoded[i], r[i]);
+      EXPECT_EQ(decoded[i].type(), r[i].type());
+    }
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(SpillRunTest, WriterReaderRoundTripWithTagsAndKeys) {
+  SpillDir dir;
+  SpillRunWriter writer(dir.RunPath("run0"));
+  for (int i = 0; i < 3000; ++i) {
+    writer.AddKeyed(static_cast<uint64_t>(i), "key" + std::to_string(i % 7),
+                    {Value::Int(i), Value::String("v" + std::to_string(i))});
+  }
+  EXPECT_EQ(writer.rows(), 3000u);
+  ASSERT_TRUE(writer.Finish().ok());
+
+  SpillRunReader reader(dir.RunPath("run0"));
+  uint64_t tag;
+  std::string key;
+  Row row;
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(reader.Next(&tag, &key, &row)) << i;
+    EXPECT_EQ(tag, static_cast<uint64_t>(i));
+    EXPECT_EQ(key, "key" + std::to_string(i % 7));
+    EXPECT_EQ(row[0], Value::Int(i));
+  }
+  EXPECT_FALSE(reader.Next(&tag, &key, &row));
+}
+
+TEST(SpillRunTest, StatsCountRunsRowsAndBytes) {
+  SpillStats before = GetSpillStats();
+  {
+    SpillDir dir;
+    SpillRunWriter writer(dir.RunPath("r"));
+    writer.Add({Value::Int(1)});
+    writer.Add({Value::Int(2)});
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  SpillStats after = GetSpillStats();
+  EXPECT_EQ(after.runs, before.runs + 1);
+  EXPECT_EQ(after.rows, before.rows + 2);
+  EXPECT_GT(after.bytes, before.bytes);
+}
+
+/// Spilling operators must emit the same rows in the same order as the
+/// in-memory algorithms for ANY budget — runs are merged back with
+/// deterministic tie-breaks (run index for the sort, global sequence
+/// numbers for join/union, sorted group keys for aggregation).
+class SpillOperatorDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema s;
+    s.AddColumn("k", DataType::kInt64, false)
+        .AddColumn("grp", DataType::kInt64)
+        .AddColumn("v", DataType::kDouble)
+        .SetPrimaryKey({"k"});
+    t_ = *db_.CreateTable("t", s);
+    // Many duplicate sort/group keys so stability and per-group arrival
+    // order are actually exercised, plus doubles whose summation order
+    // would show in the last bit if a spill path reordered them.
+    for (int i = 0; i < 5000; ++i) {
+      ASSERT_TRUE(t_->Insert({Value::Int(i), Value::Int(i % 17),
+                              Value::Double((i % 97) * 0.3)})
+                      .ok());
+    }
+  }
+
+  std::string RunWithBudget(const PlanPtr& plan, size_t budget) {
+    ScopedExecMode mode(ExecMode::kPipeline);
+    ScopedMemoryBudget scoped(budget);
+    ExecContext ctx;
+    auto rs = plan->Execute(&ctx);
+    EXPECT_TRUE(rs.ok()) << rs.status();
+    if (!rs.ok()) return std::string();
+    std::string out;
+    for (const Row& row : rs->rows) {
+      for (const Value& v : row) out += v.ToString() + "|";
+      out += "\n";
+    }
+    return out;
+  }
+
+  /// Every budget from "everything fits" down to "a few rows per run"
+  /// must reproduce the unlimited run byte for byte, and small budgets
+  /// must actually write runs.
+  void ExpectBudgetInvariant(const PlanPtr& plan) {
+    std::string baseline = RunWithBudget(plan, 0);
+    for (size_t budget : {size_t{1} << 20, size_t{4096}, size_t{512}}) {
+      SpillStats before = GetSpillStats();
+      EXPECT_EQ(baseline, RunWithBudget(plan, budget))
+          << "budget=" << budget;
+      if (budget <= 4096) {
+        EXPECT_GT(GetSpillStats().runs, before.runs) << "budget=" << budget;
+      }
+    }
+  }
+
+  Database db_{"spill"};
+  Table* t_ = nullptr;
+};
+
+TEST_F(SpillOperatorDeterminismTest, ExternalSortIsStable) {
+  // Duplicate keys: a stable sort's tie order must survive the run merge.
+  ExpectBudgetInvariant(Sort(ScanTable(t_), {{"grp", true}}));
+  ExpectBudgetInvariant(
+      Sort(ScanTable(t_), {{"v", false}, {"grp", true}}));
+}
+
+TEST_F(SpillOperatorDeterminismTest, AggregateSumsInArrivalOrder) {
+  // Double sums are order-sensitive: the spill path partitions raw input
+  // rows (preserving per-group arrival order), so sums match bit for bit.
+  ExpectBudgetInvariant(Aggregate(ScanTable(t_), {"grp"},
+                                  {{"total", AggFunc::kSum, "v"},
+                                   {"avg", AggFunc::kAvg, "v"},
+                                   {"n", AggFunc::kCount, ""},
+                                   {"hi", AggFunc::kMax, "v"}}));
+}
+
+TEST_F(SpillOperatorDeterminismTest, GraceJoinPreservesProbeOrder) {
+  // Build side big enough to overflow every tested budget, with two build
+  // rows per key so the match order within one probe row matters too.
+  RowSet lookup;
+  lookup.schema.AddColumn("k", DataType::kInt64, false)
+      .AddColumn("label", DataType::kString);
+  for (int k = 0; k < 2500; ++k) {
+    lookup.rows.push_back({Value::Int(k), Value::String("a")});
+    lookup.rows.push_back({Value::Int(k), Value::String("b")});
+  }
+  ExpectBudgetInvariant(HashJoin(ScanTable(t_), ScanValues(std::move(lookup)),
+                                 {"k"}, {"k"}));
+}
+
+TEST_F(SpillOperatorDeterminismTest, UnionDistinctKeepsFirstOccurrence) {
+  auto evens = Filter(ScanTable(t_), Eq(Arith(ArithmeticOp::kMod, Col("k"),
+                                              Lit(int64_t{2})),
+                                        Lit(int64_t{0})));
+  auto low = Filter(ScanTable(t_), Le(Col("k"), Lit(int64_t{3000})));
+  ExpectBudgetInvariant(UnionDistinct({evens, low}, {"k"}));
+  // Distinct on a narrow key with massive duplication.
+  ExpectBudgetInvariant(
+      UnionDistinct({ScanTable(t_), ScanTable(t_)}, {"grp"}));
+}
+
+}  // namespace
+}  // namespace dipbench

@@ -326,5 +326,64 @@ TEST(AppendOverlayTest, ScopeRestoresPreviousOverlay) {
   EXPECT_EQ(t->size(), 1u);
 }
 
+// ByteSize is memoized per content version; every mutator must invalidate
+// the memo (the old bug: per-call recomputation made byte accounting O(n)
+// per charge — the fix caches, but a stale cache would corrupt the
+// communication-cost ledger, which is worse).
+TEST(TableTest, ByteSizeMemoTracksEveryMutation) {
+  Table t("customer", CustomerSchema());
+
+  // Ground truth: recompute from a full scan, independent of the memo.
+  auto recomputed = [&t]() {
+    size_t total = 0;
+    t.ForEach([&total](const Row& row) {
+      for (const Value& v : row) total += v.ByteSize();
+    });
+    return total;
+  };
+  auto expect_consistent = [&](const char* what) {
+    size_t memoized = t.ByteSize();
+    EXPECT_EQ(memoized, recomputed()) << what;
+    // Second call with no interleaving mutation: served from the memo at
+    // the same version, same answer.
+    EXPECT_EQ(t.ByteSize(), memoized) << what;
+  };
+
+  expect_consistent("empty table");
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(t.Insert(Cust(i, "name" + std::to_string(i), i * 1.5)).ok());
+  }
+  uint64_t v_after_inserts = t.version();
+  expect_consistent("after inserts");
+  // Reading ByteSize must not bump the version (it would defeat caching).
+  EXPECT_EQ(t.version(), v_after_inserts);
+
+  ASSERT_TRUE(t.InsertOrReplace(Cust(7, "a much longer replacement name",
+                                     700.0))
+                  .ok());
+  expect_consistent("after replace");
+
+  ASSERT_TRUE(t.UpdateWhere([](const Row& r) { return r[0].AsInt() < 10; },
+                            [](Row* r) {
+                              (*r)[1] = Value::String("renamed-to-longer");
+                            })
+                  .ok());
+  expect_consistent("after update");
+
+  EXPECT_EQ(t.DeleteWhere(
+                [](const Row& r) { return r[0].AsInt() % 3 == 0; }),
+            17u);
+  expect_consistent("after delete");
+
+  Table::State snapshot = t.SaveState();
+  t.Clear();
+  expect_consistent("after clear");
+  EXPECT_EQ(t.ByteSize(), 0u);
+
+  t.RestoreState(std::move(snapshot));
+  expect_consistent("after restore");
+  EXPECT_GT(t.ByteSize(), 0u);
+}
+
 }  // namespace
 }  // namespace dipbench
