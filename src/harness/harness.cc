@@ -51,6 +51,12 @@ RunOutcome RunnerPool::ExecuteOne(const RunSpec& spec) {
   out.spec = spec;
   StopWatch watch;
 
+  // Per-spec exec-mode override (conformance matrix cells); RAII restores
+  // the thread's prior mode so co-scheduled specs on this thread are
+  // unaffected.
+  std::optional<ScopedExecMode> scoped_mode;
+  if (spec.exec_mode) scoped_mode.emplace(*spec.exec_mode);
+
   auto scenario_result = Scenario::Create();
   if (!scenario_result.ok()) {
     out.error = scenario_result.status().ToString();
@@ -88,6 +94,22 @@ RunOutcome RunnerPool::ExecuteOne(const RunSpec& spec) {
   } else {
     out.error = run_result.status().ToString();
   }
+
+  if (spec.post_run_mutator) spec.post_run_mutator(scenario.get());
+  if (spec.digest_state) {
+    auto digest = std::make_shared<conformance::StateDigest>(
+        conformance::CaptureStateDigest(scenario.get()));
+    digest->run_ok = out.ok;
+    digest->run_error = out.error;
+    if (out.ok) {
+      digest->monitor_csv = out.monitor_csv;
+      digest->verification = out.result.verification.ToString();
+      digest->retries = out.result.retries;
+      digest->dead_letters = out.result.dead_letters;
+    }
+    out.digest = std::move(digest);
+  }
+
   out.wall_ms = watch.ElapsedMillis();
   return out;
 }

@@ -3,9 +3,11 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/conformance/digest.h"
 #include "src/dipbench/client.h"
 #include "src/obs/obs.h"
 #include "src/ra/plan.h"
@@ -30,6 +32,20 @@ struct RunSpec {
   /// Copy the engine's InstanceRecords into the outcome (cross-run
   /// diagnostics such as the concurrency sweep-line cross-check).
   bool keep_records = false;
+  /// Per-run plan execution mode. The pool normally re-applies the
+  /// submitting thread's thread-local mode to every job; a set value
+  /// overrides that for this run only (the conformance matrix runs one
+  /// spec list across all three modes).
+  std::optional<ExecMode> exec_mode;
+  /// Capture a conformance::StateDigest of the final landscape (plus
+  /// monitor/verification/recovery/run-outcome) into the outcome. The
+  /// Scenario dies with ExecuteOne, so this is the only way to observe its
+  /// final state from outside.
+  bool digest_state = false;
+  /// Test hook, called on the live Scenario after the run (success or
+  /// failure) and BEFORE digest capture — the fuzzer's self-test injects a
+  /// single-cell divergence here to prove the pipeline catches it.
+  std::function<void(Scenario*)> post_run_mutator;
 
   std::string DisplayLabel() const;
 };
@@ -45,6 +61,10 @@ struct RunOutcome {
   std::vector<core::InstanceRecord> records;      ///< When keep_records.
   std::shared_ptr<obs::TraceRecorder> trace;      ///< When observe.
   std::shared_ptr<obs::MetricsRegistry> metrics;  ///< When observe.
+  /// When spec.digest_state: full canonical digest of the run (landscape,
+  /// monitor CSV, verification, recovery counters, run outcome). Shared —
+  /// digests can be large and outcomes get copied into reports.
+  std::shared_ptr<const conformance::StateDigest> digest;
   double wall_ms = 0.0;       ///< This run's own wall-clock time.
 };
 

@@ -59,8 +59,15 @@ Status ScenarioManager::ValidateLandscape() const {
   std::set<std::string> databases(db_list.begin(), db_list.end());
 
   for (const ScenarioManifest& manifest : manifests_) {
-    auto bad = [&](const std::string& what, const std::string& name) {
-      return Status::ValidationError(manifest.origin + ": manifest '" +
+    // Errors carry the origin:line:column of the offending entry — the
+    // reader recorded each entry's position into key_positions precisely
+    // because these checks run after parsing, against a live landscape.
+    auto bad = [&](const std::string& what, const std::string& name,
+                   const std::string& position_key) {
+      std::string where = manifest.origin;
+      auto it = manifest.key_positions.find(position_key);
+      if (it != manifest.key_positions.end()) where += ": " + it->second;
+      return Status::ValidationError(where + ": manifest '" +
                                      manifest.name + "': " + what + " '" +
                                      name + "' does not exist in the " +
                                      "system landscape");
@@ -68,18 +75,19 @@ Status ScenarioManager::ValidateLandscape() const {
     for (const OutageWindow& outage : manifest.config.outages) {
       if (!outage.endpoint.empty() && endpoints.count(outage.endpoint) == 0) {
         return bad("outage '" + outage.name + "': endpoint",
-                   outage.endpoint);
+                   outage.endpoint, "outage:" + outage.name);
       }
     }
     for (const ErrorPhaseSpec& phase : manifest.config.error_phases) {
       if (!phase.endpoint.empty() && endpoints.count(phase.endpoint) == 0) {
-        return bad("phase '" + phase.name + "': endpoint", phase.endpoint);
+        return bad("phase '" + phase.name + "': endpoint", phase.endpoint,
+                   "phase:" + phase.name);
       }
     }
     for (const auto& [source, rate] : manifest.config.source_error_rates) {
       (void)rate;
       if (databases.count(source) == 0) {
-        return bad("dirtiness source", source);
+        return bad("dirtiness source", source, "dirtiness:" + source);
       }
     }
   }

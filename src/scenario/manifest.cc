@@ -22,6 +22,7 @@ class ManifestReader {
   explicit ManifestReader(const std::string& origin) : origin_(origin) {}
 
   Status Read(const json::Value& root, ScenarioManifest* out) {
+    out_ = out;
     if (!root.is_object()) {
       return Err(root, "manifest must be a JSON object, got " +
                            std::string(root.TypeName()));
@@ -307,6 +308,23 @@ class ManifestReader {
     if (!have_calls || outage.calls == 0) {
       return Err(v, "outage '" + outage.name + "' must set 'calls' > 0");
     }
+    // A FaultProfile holds exactly one outage window, so two outages on
+    // the same profile (same endpoint, or both default-scoped) can never
+    // compile. Rejecting here — with the second outage's position —
+    // instead of at the scratch-compile gives the error a line:column.
+    for (const OutageWindow& existing : config->outages) {
+      if (existing.endpoint == outage.endpoint) {
+        std::string profile =
+            outage.endpoint.empty()
+                ? "the default profile"
+                : "endpoint '" + outage.endpoint + "'";
+        return Err(v, "outage '" + outage.name +
+                          "': overlapping outage windows — " + profile +
+                          " already has an outage window from '" +
+                          existing.name + "'");
+      }
+    }
+    out_->key_positions["outage:" + outage.name] = v.Where();
     config->outages.push_back(std::move(outage));
     return Status::OK();
   }
@@ -341,6 +359,7 @@ class ManifestReader {
     if (!have_rate) {
       return Err(v, "phase '" + phase.name + "' must set 'error_rate'");
     }
+    out_->key_positions["phase:" + phase.name] = v.Where();
     config->error_phases.push_back(std::move(phase));
     return Status::OK();
   }
@@ -349,6 +368,7 @@ class ManifestReader {
     if (!v.is_object()) return Expected(v, "dirtiness", "an object");
     for (const auto& [source, value] : v.members) {
       DIP_ASSIGN_OR_RETURN(double rate, Fraction(value, "dirtiness rate"));
+      out_->key_positions["dirtiness:" + source] = value.Where();
       config->source_error_rates[source] = rate;
     }
     return Status::OK();
@@ -387,6 +407,7 @@ class ManifestReader {
   }
 
   const std::string origin_;
+  ScenarioManifest* out_ = nullptr;  ///< set by Read for the duration
 };
 
 }  // namespace

@@ -1,6 +1,7 @@
 #ifndef DIPBENCH_SCENARIO_MANIFEST_H_
 #define DIPBENCH_SCENARIO_MANIFEST_H_
 
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -42,6 +43,13 @@ struct ScenarioManifest {
   /// sweep.
   std::string sweep_field;
   std::vector<double> sweep_values;
+
+  /// Source positions of landscape-referencing entries, recorded while
+  /// parsing so validation that happens AFTER parsing (the manager's
+  /// ValidateLandscape checks names against a live Scenario) can still
+  /// point at the offending line. Keys: "outage:<name>", "phase:<name>",
+  /// "dirtiness:<source>"; values: "line L, column C".
+  std::map<std::string, std::string> key_positions;
 
   /// Parses and validates a manifest from JSON text. Strict: unknown keys,
   /// type mismatches and out-of-range values are errors, each reporting

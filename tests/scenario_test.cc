@@ -298,6 +298,40 @@ TEST(ManifestTest, RejectsSchemaViolations) {
             std::string::npos);
 }
 
+TEST(ManifestTest, InvalidTrafficShapeReportsOriginLineColumn) {
+  auto m = ScenarioManifest::FromJsonText(
+      "{\"name\": \"x\",\n"
+      " \"traffic\": {\"A\": {\n"
+      "   \"shape\": \"tsunami\"}}}",
+      "shapes.json");
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find(
+                "shapes.json: line 3, column 13: unknown traffic shape "
+                "'tsunami'"),
+            std::string::npos)
+      << m.status().ToString();
+}
+
+TEST(ManifestTest, OverlappingOutageWindowsReportTheSecondWindowsPosition) {
+  auto m = ScenarioManifest::FromJsonText(
+      "{\"name\": \"x\",\n"
+      " \"faults\": {\"outages\": [\n"
+      "   {\"name\": \"a\", \"endpoint\": \"cdb\", \"calls\": 5},\n"
+      "   {\"name\": \"b\", \"endpoint\": \"cdb\", \"calls\": 5}]}}",
+      "overlap.json");
+  ASSERT_FALSE(m.ok());
+  // The error points at the SECOND window — the first one was fine.
+  EXPECT_NE(m.status().message().find(
+                "overlap.json: line 4, column 4: outage 'b': overlapping "
+                "outage windows"),
+            std::string::npos)
+      << m.status().ToString();
+  EXPECT_NE(m.status().message().find(
+                "endpoint 'cdb' already has an outage window from 'a'"),
+            std::string::npos)
+      << m.status().ToString();
+}
+
 // ---------------------------------------------------------------------------
 // Manager: loading, uniqueness, landscape validation
 
@@ -364,6 +398,25 @@ TEST_F(ManagerTest, LandscapeValidationCatchesUnknownNames) {
   Status st = manager.ValidateLandscape();
   ASSERT_FALSE(st.ok());
   EXPECT_NE(st.message().find("atlantis"), std::string::npos);
+}
+
+TEST_F(ManagerTest, UnknownDirtinessSourceReportsOriginLineColumn) {
+  // Dirtiness names are checked against the live landscape AFTER parsing;
+  // the reader records each entry's position so the late error can still
+  // point at the offending line.
+  Write("dirty.json",
+        "{\"name\": \"x\",\n"
+        " \"dirtiness\": {\n"
+        "   \"lost_city_db\": 0.2}}");
+  ScenarioManager manager;
+  ASSERT_TRUE(manager.LoadDirectory(Dir()).ok());
+  Status st = manager.ValidateLandscape();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("dirty.json: line 3, column 20: manifest "
+                              "'x': dirtiness source 'lost_city_db' does "
+                              "not exist in the system landscape"),
+            std::string::npos)
+      << st.ToString();
 }
 
 TEST_F(ManagerTest, LandscapeValidationAcceptsRealNames) {
