@@ -132,6 +132,11 @@ int main(int argc, char** argv) {
               "be caught, shrunk and replayed")
       .Define("shrink-out", "path for the shrunk repro JSON on failure "
                             "(default conformance_repro.json)")
+      .Define("realization",
+              "full (default): legacy matrix; incremental: run every cell "
+              "with the incremental Group C/D realization; both: add "
+              "incremental twins on fault-free cases and diff them against "
+              "full recompute")
       .Define("json-out", "write the fuzz summary as JSON to this path");
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -159,6 +164,21 @@ int main(int argc, char** argv) {
   opt.jobs = *jobs;
   opt.include_eai = flags.Has("include-eai");
   opt.max_failures = 1;
+  const std::string realization = flags.Get("realization", "full");
+  if (realization == "both") {
+    opt.include_incremental = true;
+  } else if (realization == "incremental") {
+    opt.matrix = conformance::DefaultMatrix(opt.include_eai);
+    for (conformance::MatrixCell& cell : opt.matrix) {
+      cell.realization = Realization::kIncremental;
+    }
+  } else if (realization != "full") {
+    std::fprintf(stderr,
+                 "invalid --realization '%s' (expected full, incremental "
+                 "or both)\n%s",
+                 realization.c_str(), flags.Usage().c_str());
+    return 2;
+  }
   if (const char* p = std::getenv("DIPBENCH_PERIODS")) {
     opt.periods_override = std::atoi(p);
   }

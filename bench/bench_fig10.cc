@@ -42,7 +42,11 @@ int main(int argc, char** argv) {
               "Non-zero spills runs to disk; output is identical")
       .Define("workers", "real threads for the intra-run scheduler "
                          "(default 1 = serial; output is identical)")
-      .Define("datasize", "override scale factor d (default 0.05)");
+      .Define("datasize", "override scale factor d (default 0.05)")
+      .Define("realization",
+              "full | incremental (default full): process realization for "
+              "the Group C/D maintenance processes (SPECIFICATION.md §16); "
+              "landscape state is identical either way");
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
                  flags.Usage().c_str());
@@ -152,6 +156,18 @@ int main(int argc, char** argv) {
       return 2;
     }
     config.operator_memory_budget = static_cast<size_t>(*budget);
+  }
+  // --realization=incremental swaps the Group C/D process bodies for the
+  // change-data-capture realization (src/ivm); the Client installs the
+  // delta procedures before initialization. Final landscape state is
+  // byte-identical to the full recompute (SPECIFICATION.md §16).
+  const std::string realization = flags.Get("realization");
+  if (realization == "incremental") {
+    config.realization = Realization::kIncremental;
+  } else if (!realization.empty() && realization != "full") {
+    std::fprintf(stderr, "unknown --realization=%s\n%s", realization.c_str(),
+                 flags.Usage().c_str());
+    return 2;
   }
 
   auto scenario_result = Scenario::Create();

@@ -18,9 +18,12 @@ struct PairContext {
   std::string mode_a, mode_b;  ///< "materialize" | "pipeline" | "columnar"
   int workers_a = 1, workers_b = 1;
   size_t budget_a = 0, budget_b = 0;
+  std::string realization_a = "full";  ///< "full" | "incremental"
+  std::string realization_b = "full";
 
   bool engines_differ() const { return engine_a != engine_b; }
   bool modes_differ() const { return mode_a != mode_b; }
+  bool realizations_differ() const { return realization_a != realization_b; }
   std::string ToString() const;
 };
 
@@ -72,6 +75,12 @@ struct AllowRule {
   /// For the §14.4 limit-cut rule: the materializing side must report
   /// MORE work, never less. Checked against numeric left/right values.
   bool materialize_reports_more = false;
+  /// Rule only applies when the two runs used different process
+  /// realizations (SPECIFICATION.md §16: full recompute vs incremental
+  /// maintenance). Deliberately NEVER set on the kRows/kSchema/
+  /// kVerification sections — landscape state must stay byte-identical
+  /// across realizations.
+  bool requires_realization_mismatch = false;
 };
 
 /// The documented divergences:
@@ -83,6 +92,13 @@ struct AllowRule {
 ///   * limit-cut-rows-read    — SPECIFICATION.md §14.4: cursor modes may
 ///                              report less rows_read than materialization
 ///                              on limit-cut streaming prefixes.
+///   * realization-io-counters — SPECIFICATION.md §16: incremental
+///                              maintenance touches fewer rows, so
+///                              rows_read / rows_written may differ from
+///                              full recompute.
+///   * realization-cost-model — Monitor charges scale with rows moved;
+///                              realizations compare only within one
+///                              realization.
 const std::vector<AllowRule>& DocumentedAllowlist();
 
 /// Structured comparison of two digests.

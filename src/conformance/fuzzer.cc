@@ -109,8 +109,10 @@ Result<ExecMode> ParseExecMode(const std::string& name) {
 }
 
 std::string MatrixCell::Label() const {
-  return StrFormat("%s/%s/w%d/b%zu", engine.c_str(), ExecModeName(mode),
-                   workers, memory_budget);
+  std::string label = StrFormat("%s/%s/w%d/b%zu", engine.c_str(),
+                                ExecModeName(mode), workers, memory_budget);
+  if (realization == Realization::kIncremental) label += "/inc";
+  return label;
 }
 
 std::vector<MatrixCell> DefaultMatrix(bool include_eai) {
@@ -385,6 +387,8 @@ PairContext MakePairContext(const MatrixCell& a, const MatrixCell& b) {
   ctx.workers_b = b.workers;
   ctx.budget_a = a.memory_budget;
   ctx.budget_b = b.memory_budget;
+  ctx.realization_a = RealizationName(a.realization);
+  ctx.realization_b = RealizationName(b.realization);
   return ctx;
 }
 
@@ -405,6 +409,23 @@ CaseResult RunCase(const FuzzCase& fuzz_case, const FuzzOptions& opt) {
   std::vector<MatrixCell> matrix =
       opt.matrix.empty() ? DefaultMatrix(opt.include_eai) : opt.matrix;
 
+  // Incremental twins join the matrix only for fault-free cases: the two
+  // realizations issue different endpoint-call sequences, so under a fault
+  // plan their injected-failure draws (and thus run outcomes) legitimately
+  // diverge — that pairing proves nothing about maintenance correctness.
+  const ScaleConfig& cfg = fuzz_case.manifest.config;
+  bool fault_free = cfg.fault_rate == 0.0 && cfg.fault_spike_rate == 0.0 &&
+                    cfg.outages.empty() && cfg.error_phases.empty();
+  if (opt.include_incremental && fault_free) {
+    size_t base = matrix.size();
+    for (size_t i = 0; i < base; ++i) {
+      if (matrix[i].realization != Realization::kFullRecompute) continue;
+      MatrixCell twin = matrix[i];
+      twin.realization = Realization::kIncremental;
+      matrix.push_back(std::move(twin));
+    }
+  }
+
   std::vector<harness::RunSpec> specs;
   specs.reserve(matrix.size());
   for (const MatrixCell& cell : matrix) {
@@ -413,6 +434,7 @@ CaseResult RunCase(const FuzzCase& fuzz_case, const FuzzOptions& opt) {
     if (opt.periods_override > 0) spec.config.periods = opt.periods_override;
     spec.config.workers = cell.workers;
     spec.config.operator_memory_budget = cell.memory_budget;
+    spec.config.realization = cell.realization;
     spec.engine = cell.engine;
     spec.exec_mode = cell.mode;
     spec.digest_state = true;

@@ -135,8 +135,14 @@ std::string ReproToJson(const Repro& repro) {
     out += "    {\"engine\": " + QuoteJson(cell.engine) +
            ", \"exec_mode\": \"" + ExecModeName(cell.mode) +
            "\", \"workers\": " + std::to_string(cell.workers) +
-           ", \"memory_budget\": " + std::to_string(cell.memory_budget) +
-           "}";
+           ", \"memory_budget\": " + std::to_string(cell.memory_budget);
+    // Rendered only for non-default realizations: every pre-existing
+    // repro file stays byte-identical.
+    if (cell.realization != Realization::kFullRecompute) {
+      out += std::string(", \"realization\": \"") +
+             RealizationName(cell.realization) + "\"";
+    }
+    out += "}";
     out += i + 1 < repro.cells.size() ? ",\n" : "\n";
   }
   out += "  ],\n";
@@ -220,6 +226,17 @@ Result<Repro> ReproFromJsonText(std::string_view text,
         return err(*budget, "'memory_budget' must be a number >= 0");
       }
       cell.memory_budget = static_cast<size_t>(budget->number_value);
+    }
+    if (const json::Value* realization = item.Find("realization")) {
+      if (!realization->is_string()) {
+        return err(*realization, "'realization' must be a string");
+      }
+      Result<Realization> parsed_r =
+          ParseRealization(realization->string_value);
+      if (!parsed_r.ok()) {
+        return err(*realization, parsed_r.status().message());
+      }
+      cell.realization = *parsed_r;
     }
     repro.cells.push_back(std::move(cell));
   }

@@ -4,6 +4,7 @@
 
 #include "src/core/retry.h"
 #include "src/dipbench/processes.h"
+#include "src/ivm/ivm.h"
 #include "src/net/fault.h"
 #include "src/dipbench/schedule.h"
 #include "src/storage/spill.h"
@@ -44,7 +45,12 @@ void Client::SetObserver(obs::ObsContext obs) {
 }
 
 Status Client::DeployProcesses() {
-  for (const auto& def : BuildProcesses()) {
+  // The incremental Group C/D bodies call the src/ivm procedures and delta
+  // queries; install them on the scenario before any instance can run.
+  if (config_.realization == Realization::kIncremental) {
+    DIP_RETURN_NOT_OK(ivm::InstallIncrementalMaintenance(scenario_));
+  }
+  for (const auto& def : BuildProcesses(config_.realization)) {
     Status st = engine_->Deploy(def);
     if (!st.ok() && st.code() != StatusCode::kAlreadyExists) return st;
   }

@@ -8,6 +8,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/random.h"
+#include "src/common/result.h"
 #include "src/common/status.h"
 
 namespace dipbench {
@@ -15,6 +16,24 @@ namespace dipbench {
 namespace net {
 struct FaultPlan;
 }  // namespace net
+
+/// How the Group C/D processes (P12–P15, the DWH bulk loads and mart
+/// refreshes) realize their target-side maintenance:
+///  * kFullRecompute — the legacy realization: materialized views are
+///    cleared and recomputed from a full scan, mart refreshes extract the
+///    complete movement history each run.
+///  * kIncremental — change-data capture + incremental view maintenance
+///    (src/ivm): CDB/DWH/mart tables log committed deltas and the refresh
+///    processes fold only the unconsumed log suffix, advancing named
+///    cursors with an at-most-once ledger. Final landscape state is
+///    byte-identical to full recompute (SPECIFICATION.md §16); only IO
+///    counters may differ (fewer rows touched).
+enum class Realization { kFullRecompute, kIncremental };
+
+/// "full" / "incremental".
+const char* RealizationName(Realization r);
+/// Parses a realization name (the two canonical names only).
+Result<Realization> ParseRealization(const std::string& name);
 
 /// Per-stream traffic shape (scenario manifests, src/scenario): modulates
 /// how many E1 process instances a stream submits per period, as a
@@ -148,6 +167,12 @@ struct ScaleConfig {
   /// out of core (src/storage/spill.h). Pure execution dial: rows, Monitor
   /// CSVs, and cost counters are byte-identical for ANY value.
   size_t operator_memory_budget = 0;
+
+  /// Process realization of the Group C/D maintenance processes. The
+  /// default keeps the legacy full-recompute bodies; kIncremental switches
+  /// P12–P15 to the delta-propagation bodies and enables change capture on
+  /// the involved tables before the first period.
+  Realization realization = Realization::kFullRecompute;
 
   /// Threads used by the Initializer's per-period data generation. Every
   /// seeding unit (one external database instance) draws from its own

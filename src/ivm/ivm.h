@@ -1,0 +1,43 @@
+#ifndef DIPBENCH_IVM_IVM_H_
+#define DIPBENCH_IVM_IVM_H_
+
+#include "src/common/status.h"
+#include "src/dipbench/scenario.h"
+
+namespace dipbench {
+namespace ivm {
+
+/// Named change-log cursors (SPECIFICATION.md §16). Each cursor tracks how
+/// far one consumer has folded a table's change log; AdvanceCursor records
+/// the consumed range in the at-most-once ledger.
+///
+/// "dwh": CDB reference dimensions -> DWH replication (P12 incremental).
+extern const char* const kDimCursor;
+/// "mv": orders -> orders_mv fold (P13 on the DWH, P15 on each mart).
+extern const char* const kMvCursor;
+/// "mart": DWH orders -> mart refresh extraction (P14).
+extern const char* const kMartCursor;
+
+/// Installs the incremental realization of the Group C/D maintenance
+/// processes onto a built scenario:
+///
+///  * enables change capture on the CDB reference dimensions (city, nation,
+///    region, productgroup, productline), on dwh_db.orders, and on the
+///    orders table of each data mart;
+///  * registers the delta extraction queries (`delta_<dim>` on the cdb
+///    endpoint, `extract_orders_with_region_delta` on the dwh endpoint);
+///  * registers the incremental stored procedures
+///    (`sp_flagMasterIntegratedDelta`, `sp_refreshOrdersMvIncremental`,
+///    `sp_advanceMartCursor`, `sp_refresh_mv_incremental`).
+///
+/// The incremental process bodies (BuildProcesses(Realization::kIncremental))
+/// call these instead of the full-recompute operations; the final landscape
+/// state is byte-identical to the legacy realization, only IO counters and
+/// monitor costs differ (fewer rows touched). Idempotent: a second call on
+/// the same scenario is a no-op.
+Status InstallIncrementalMaintenance(Scenario* scenario);
+
+}  // namespace ivm
+}  // namespace dipbench
+
+#endif  // DIPBENCH_IVM_IVM_H_

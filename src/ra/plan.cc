@@ -1106,8 +1106,8 @@ class SpillSortCursor : public BatchCursor {
     if (!buffer_.empty()) DIP_RETURN_NOT_OK(FlushRun());
     CountSpillMerge();
     for (size_t r = 0; r < runs_; ++r) {
-      readers_.push_back(std::make_unique<SpillRunReader>(
-          dir_->RunPath(RunName("sort_", r))));
+      readers_.push_back(
+          std::make_unique<SpillRunReader>(dir_, RunName("sort_", r)));
       Row row;
       if (readers_.back()->Next(&row)) heap_.push_back({std::move(row), r});
     }
@@ -1171,9 +1171,9 @@ class SpillSortCursor : public BatchCursor {
         [this](const Row& a, const Row& b) { return RowLess(a, b); });
   }
   Status FlushRun() {
-    if (dir_ == nullptr) dir_ = std::make_unique<SpillDir>();
+    if (dir_ == nullptr) dir_ = std::make_shared<SpillDir>();
     SortBuffer();
-    SpillRunWriter w(dir_->RunPath(RunName("sort_", runs_)));
+    SpillRunWriter w(dir_, RunName("sort_", runs_));
     for (const Row& r : buffer_) w.Add(r);
     DIP_RETURN_NOT_OK(w.Finish());
     runs_++;
@@ -1193,7 +1193,7 @@ class SpillSortCursor : public BatchCursor {
   std::vector<bool> asc_;
   std::vector<Row> buffer_;
   size_t pos_ = 0;
-  std::unique_ptr<SpillDir> dir_;
+  std::shared_ptr<SpillDir> dir_;
   size_t runs_ = 0;
   std::vector<std::unique_ptr<SpillRunReader>> readers_;
   std::vector<Entry> heap_;
@@ -1260,22 +1260,22 @@ class SpillAggregateCursor : public BatchCursor {
     for (size_t p = 0; p < kSpillPartitions; ++p) {
       std::map<std::string, AggGroupState> groups;
       {
-        SpillRunReader reader(dir_->RunPath(RunName("agg_in_", p)));
+        SpillRunReader reader(dir_, RunName("agg_in_", p));
         Row row;
         while (reader.Next(&row)) {
           DIP_RETURN_NOT_OK(
               AccumulateAggRow(row, *aggs_, group_idx_, agg_idx_, &groups));
         }
       }
-      SpillRunWriter w(dir_->RunPath(RunName("agg_out_", p)));
+      SpillRunWriter w(dir_, RunName("agg_out_", p));
       for (const auto& [key_str, st] : groups) {
         w.AddKeyed(0, key_str, FinalizeAggGroup(st, *aggs_));
       }
       DIP_RETURN_NOT_OK(w.Finish());
     }
     for (size_t p = 0; p < kSpillPartitions; ++p) {
-      readers_.push_back(std::make_unique<SpillRunReader>(
-          dir_->RunPath(RunName("agg_out_", p))));
+      readers_.push_back(
+          std::make_unique<SpillRunReader>(dir_, RunName("agg_out_", p)));
       uint64_t tag;
       std::string key;
       Row row;
@@ -1319,10 +1319,10 @@ class SpillAggregateCursor : public BatchCursor {
  private:
   void StartSpill() {
     spilled_ = true;
-    dir_ = std::make_unique<SpillDir>();
+    dir_ = std::make_shared<SpillDir>();
     for (size_t p = 0; p < kSpillPartitions; ++p) {
-      writers_.push_back(std::make_unique<SpillRunWriter>(
-          dir_->RunPath(RunName("agg_in_", p))));
+      writers_.push_back(
+          std::make_unique<SpillRunWriter>(dir_, RunName("agg_in_", p)));
     }
     for (const Row& row : buffer_) RouteRow(row);
     buffer_.clear();
@@ -1345,7 +1345,7 @@ class SpillAggregateCursor : public BatchCursor {
   std::vector<size_t> group_idx_, agg_idx_;
   bool spilled_ = false;
   std::vector<Row> buffer_;
-  std::unique_ptr<SpillDir> dir_;
+  std::shared_ptr<SpillDir> dir_;
   std::vector<std::unique_ptr<SpillRunWriter>> writers_;
   std::vector<std::unique_ptr<SpillRunReader>> readers_;
   std::vector<KeyEntry> heap_;
@@ -1433,8 +1433,8 @@ class SpillUnionDistinctCursor : public BatchCursor {
     for (auto& w : writers_) DIP_RETURN_NOT_OK(w->Finish());
     CountSpillMerge();
     for (size_t p = 0; p < kSpillPartitions; ++p) {
-      SpillRunReader reader(dir_->RunPath(RunName("union_in_", p)));
-      SpillRunWriter keep(dir_->RunPath(RunName("union_out_", p)));
+      SpillRunReader reader(dir_, RunName("union_in_", p));
+      SpillRunWriter keep(dir_, RunName("union_out_", p));
       std::unordered_multimap<size_t, size_t> seen;
       std::vector<Row> kept;
       uint64_t tag;
@@ -1450,8 +1450,8 @@ class SpillUnionDistinctCursor : public BatchCursor {
       DIP_RETURN_NOT_OK(keep.Finish());
     }
     for (size_t p = 0; p < kSpillPartitions; ++p) {
-      readers_.push_back(std::make_unique<SpillRunReader>(
-          dir_->RunPath(RunName("union_out_", p))));
+      readers_.push_back(
+          std::make_unique<SpillRunReader>(dir_, RunName("union_out_", p)));
       uint64_t tag;
       std::string key;
       Row row;
@@ -1516,10 +1516,10 @@ class SpillUnionDistinctCursor : public BatchCursor {
   }
   void StartSpill() {
     spilled_ = true;
-    dir_ = std::make_unique<SpillDir>();
+    dir_ = std::make_shared<SpillDir>();
     for (size_t p = 0; p < kSpillPartitions; ++p) {
-      writers_.push_back(std::make_unique<SpillRunWriter>(
-          dir_->RunPath(RunName("union_in_", p))));
+      writers_.push_back(
+          std::make_unique<SpillRunWriter>(dir_, RunName("union_in_", p)));
     }
     for (const auto& e : buffer_) RouteRow(e.seq, e.row);
     buffer_.clear();
@@ -1535,7 +1535,7 @@ class SpillUnionDistinctCursor : public BatchCursor {
   std::vector<size_t> key_idx_;
   bool spilled_ = false;
   std::vector<SeqEntry> buffer_;
-  std::unique_ptr<SpillDir> dir_;
+  std::shared_ptr<SpillDir> dir_;
   std::vector<std::unique_ptr<SpillRunWriter>> writers_;
   std::vector<std::unique_ptr<SpillRunReader>> readers_;
   std::vector<SeqEntry> heap_;
@@ -1630,7 +1630,7 @@ class GraceHashJoinCursor : public BatchCursor {
     for (size_t p = 0; p < kSpillPartitions; ++p) {
       std::vector<Row> part_build;
       {
-        SpillRunReader r(dir_->RunPath(RunName("join_build_", p)));
+        SpillRunReader r(dir_, RunName("join_build_", p));
         Row row;
         while (r.Next(&row)) part_build.push_back(std::move(row));
       }
@@ -1639,8 +1639,8 @@ class GraceHashJoinCursor : public BatchCursor {
       for (size_t i = 0; i < part_build.size(); ++i) {
         map.emplace(HashRowKey(part_build[i], ridx_), i);
       }
-      SpillRunReader probe(dir_->RunPath(RunName("join_probe_", p)));
-      SpillRunWriter out(dir_->RunPath(RunName("join_out_", p)));
+      SpillRunReader probe(dir_, RunName("join_probe_", p));
+      SpillRunWriter out(dir_, RunName("join_out_", p));
       uint64_t tag;
       std::string key;
       Row lrow;
@@ -1657,8 +1657,8 @@ class GraceHashJoinCursor : public BatchCursor {
       DIP_RETURN_NOT_OK(out.Finish());
     }
     for (size_t p = 0; p < kSpillPartitions; ++p) {
-      readers_.push_back(std::make_unique<SpillRunReader>(
-          dir_->RunPath(RunName("join_out_", p))));
+      readers_.push_back(
+          std::make_unique<SpillRunReader>(dir_, RunName("join_out_", p)));
       uint64_t tag;
       std::string key;
       Row row;
@@ -1741,12 +1741,12 @@ class GraceHashJoinCursor : public BatchCursor {
   }
   void StartSpill() {
     spilled_ = true;
-    dir_ = std::make_unique<SpillDir>();
+    dir_ = std::make_shared<SpillDir>();
     for (size_t p = 0; p < kSpillPartitions; ++p) {
       build_writers_.push_back(std::make_unique<SpillRunWriter>(
-          dir_->RunPath(RunName("join_build_", p))));
+          dir_, RunName("join_build_", p)));
       probe_writers_.push_back(std::make_unique<SpillRunWriter>(
-          dir_->RunPath(RunName("join_probe_", p))));
+          dir_, RunName("join_probe_", p)));
     }
     for (const Row& row : build_rows_) {
       build_writers_[HashRowKey(row, ridx_) % kSpillPartitions]->Add(row);
@@ -1762,7 +1762,7 @@ class GraceHashJoinCursor : public BatchCursor {
   bool spilled_ = false;
   std::vector<Row> build_rows_;
   std::unordered_multimap<size_t, size_t> build_;
-  std::unique_ptr<SpillDir> dir_;
+  std::shared_ptr<SpillDir> dir_;
   std::vector<std::unique_ptr<SpillRunWriter>> build_writers_, probe_writers_;
   std::vector<std::unique_ptr<SpillRunReader>> readers_;
   std::vector<SeqEntry> heap_;

@@ -198,6 +198,11 @@ class ManifestReader {
       } else if (key == "memory_budget") {
         DIP_ASSIGN_OR_RETURN(uint64_t bytes, Uint64(value, key));
         config->operator_memory_budget = static_cast<size_t>(bytes);
+      } else if (key == "realization") {
+        DIP_ASSIGN_OR_RETURN(std::string name, Str(value, key));
+        Result<Realization> parsed = ParseRealization(name);
+        if (!parsed.ok()) return Err(value, parsed.status().message());
+        config->realization = *parsed;
       } else {
         return Err(value, "unknown config key '" + key + "'");
       }

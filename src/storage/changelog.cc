@@ -1,0 +1,96 @@
+#include "src/storage/changelog.h"
+
+#include <algorithm>
+
+namespace dipbench {
+namespace storage {
+
+const char* ChangeOpName(ChangeEntry::Op op) {
+  switch (op) {
+    case ChangeEntry::Op::kInsert:
+      return "insert";
+    case ChangeEntry::Op::kUpdate:
+      return "update";
+    case ChangeEntry::Op::kDelete:
+      return "delete";
+  }
+  return "?";
+}
+
+void ChangeLog::Append(ChangeEntry::Op op, Row row, uint64_t version) {
+  ChangeEntry entry;
+  entry.op = op;
+  entry.row = std::move(row);
+  entry.version = version;
+  log_.push_back(std::move(entry));
+}
+
+size_t ChangeLog::CursorPos(const std::string& cursor) const {
+  auto it = cursors_.find(cursor);
+  return it == cursors_.end() ? 0 : it->second.pos;
+}
+
+const std::vector<AppliedRange>& ChangeLog::AppliedRanges(
+    const std::string& cursor) const {
+  static const std::vector<AppliedRange> kEmpty;
+  auto it = cursors_.find(cursor);
+  return it == cursors_.end() ? kEmpty : it->second.applied;
+}
+
+Status ChangeLog::AdvanceCursor(const std::string& cursor, size_t from,
+                                size_t to, uint64_t instance_tag,
+                                int attempt) {
+  if (to < from || to > log_.size()) {
+    return Status::InvalidArgument(
+        "changelog cursor '" + cursor + "' advance [" +
+        std::to_string(from) + ", " + std::to_string(to) +
+        ") out of range (log size " + std::to_string(log_.size()) + ")");
+  }
+  Cursor& c = cursors_[cursor];
+  if (from != c.pos) {
+    return Status::Internal(
+        "changelog cursor '" + cursor + "' at " + std::to_string(c.pos) +
+        ", not " + std::to_string(from) +
+        " — delta view is stale (double apply?)");
+  }
+  if (from == to) return Status::OK();
+  for (const AppliedRange& r : c.applied) {
+    if (from < r.to && r.from < to) {
+      return Status::Internal(
+          "changelog delta [" + std::to_string(from) + ", " +
+          std::to_string(to) + ") of cursor '" + cursor +
+          "' overlaps range already applied by instance " +
+          std::to_string(r.instance_tag) + " attempt " +
+          std::to_string(r.attempt) + " — at-most-once violated");
+    }
+  }
+  c.applied.push_back(AppliedRange{from, to, instance_tag, attempt});
+  c.pos = to;
+  return Status::OK();
+}
+
+void ChangeLog::Clear() {
+  log_.clear();
+  cursors_.clear();
+}
+
+void ChangeLog::TruncateTo(size_t end) {
+  if (end < log_.size()) {
+    log_.erase(log_.begin() + static_cast<ptrdiff_t>(end), log_.end());
+  }
+  for (auto& [name, cursor] : cursors_) {
+    cursor.pos = std::min(cursor.pos, end);
+    // Ranges from rolled-back consumption shrink with the log so a redo of
+    // the same delta after rollback is not a false double-apply.
+    auto& applied = cursor.applied;
+    applied.erase(std::remove_if(applied.begin(), applied.end(),
+                                 [end](const AppliedRange& r) {
+                                   return r.from >= end;
+                                 }),
+                  applied.end());
+    for (AppliedRange& r : applied) r.to = std::min(r.to, end);
+  }
+}
+
+}  // namespace storage
+}  // namespace dipbench

@@ -5,6 +5,8 @@
 #include <atomic>
 #include <cstring>
 #include <filesystem>
+#include <mutex>
+#include <utility>
 
 namespace dipbench {
 
@@ -66,6 +68,29 @@ void CountSpillMerge() {
   g_spill_obs.Count("ra.spill.merges");
 }
 
+namespace {
+
+std::mutex g_dir_probe_mu;
+SpillDirProbe g_dir_probe;
+
+/// Copies the probe out under the lock and invokes it outside, so a probe
+/// body may itself call SetSpillDirProbe without deadlocking.
+void NotifyDirProbe(const std::string& path, bool claimed) {
+  SpillDirProbe probe;
+  {
+    std::lock_guard<std::mutex> lock(g_dir_probe_mu);
+    probe = g_dir_probe;
+  }
+  if (probe) probe(path, claimed);
+}
+
+}  // namespace
+
+void SetSpillDirProbe(SpillDirProbe probe) {
+  std::lock_guard<std::mutex> lock(g_dir_probe_mu);
+  g_dir_probe = std::move(probe);
+}
+
 SpillDir::SpillDir() {
   namespace fs = std::filesystem;
   static std::atomic<uint64_t> counter{0};
@@ -82,6 +107,7 @@ SpillDir::SpillDir() {
                            "_" + std::to_string(id));
     if (fs::create_directory(dir, ec)) {
       path_ = dir.string();
+      NotifyDirProbe(path_, /*claimed=*/true);
       return;
     }
   }
@@ -91,6 +117,7 @@ SpillDir::~SpillDir() {
   if (path_.empty()) return;
   std::error_code ec;
   std::filesystem::remove_all(path_, ec);
+  NotifyDirProbe(path_, /*claimed=*/false);
 }
 
 std::string SpillDir::RunPath(const std::string& name) const {
@@ -187,6 +214,12 @@ SpillRunWriter::SpillRunWriter(std::string path) : path_(std::move(path)) {
   buf_.reserve(kIoChunk + 4096);
 }
 
+SpillRunWriter::SpillRunWriter(std::shared_ptr<SpillDir> dir,
+                               const std::string& name)
+    : SpillRunWriter(dir->RunPath(name)) {
+  dir_ = std::move(dir);
+}
+
 SpillRunWriter::~SpillRunWriter() {
   if (file_ != nullptr) std::fclose(file_);
 }
@@ -234,6 +267,12 @@ Status SpillRunWriter::Finish() {
 SpillRunReader::SpillRunReader(std::string path) {
   file_ = std::fopen(path.c_str(), "rb");
   eof_ = file_ == nullptr;
+}
+
+SpillRunReader::SpillRunReader(std::shared_ptr<SpillDir> dir,
+                               const std::string& name)
+    : SpillRunReader(dir->RunPath(name)) {
+  dir_ = std::move(dir);
 }
 
 SpillRunReader::~SpillRunReader() {

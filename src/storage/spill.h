@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -87,6 +89,12 @@ void CountSpillMerge();
 /// recursively on destruction. Claiming mirrors the harness temp-dir
 /// protocol: <tmp>/dipbench_spill/<pid>_<counter> with a create-as-claim
 /// loop, so concurrent operators (and concurrent processes) never collide.
+///
+/// Lifetime contract: operators hold the dir via shared_ptr and every
+/// writer/reader constructed through the shared_ptr overloads co-owns it,
+/// so the claim is released exactly when the LAST open run file closes —
+/// on every exit path, including an instance that dead-letters or errors
+/// mid-spill (the cursor unwinds, the co-owners drop, the dir is removed).
 class SpillDir {
  public:
   SpillDir();
@@ -101,6 +109,15 @@ class SpillDir {
  private:
   std::string path_;
 };
+
+/// Test hook observing the spill-dir claim protocol: invoked with
+/// (path, true) when a directory is claimed and (path, false) after it has
+/// been removed. Tests install it to assert that every claimed dir is
+/// released on every exit path — including aborted instances
+/// mid-external-sort. Process-wide; pass nullptr to uninstall.
+using SpillDirProbe = std::function<void(const std::string& path,
+                                         bool claimed)>;
+void SetSpillDirProbe(SpillDirProbe probe);
 
 /// Binary row codec. Values round-trip bit-exactly (int64/double payloads
 /// are copied byte for byte), which the determinism contract requires:
@@ -118,6 +135,9 @@ bool DecodeRow(const std::string& data, size_t* pos, Row* row);
 class SpillRunWriter {
  public:
   explicit SpillRunWriter(std::string path);
+  /// Writes run `name` inside `dir`, co-owning the claim: the directory
+  /// cannot be removed while this writer is alive.
+  SpillRunWriter(std::shared_ptr<SpillDir> dir, const std::string& name);
   ~SpillRunWriter();
   SpillRunWriter(const SpillRunWriter&) = delete;
   SpillRunWriter& operator=(const SpillRunWriter&) = delete;
@@ -136,6 +156,7 @@ class SpillRunWriter {
   void AddRecord(uint64_t tag, const std::string& key, const Row& row);
   void FlushBuffer();
 
+  std::shared_ptr<SpillDir> dir_;  ///< claim co-owner, may be null
   std::string path_;
   std::FILE* file_ = nullptr;
   std::string buf_;
@@ -148,6 +169,9 @@ class SpillRunWriter {
 class SpillRunReader {
  public:
   explicit SpillRunReader(std::string path);
+  /// Reads run `name` inside `dir`, co-owning the claim (see
+  /// SpillRunWriter).
+  SpillRunReader(std::shared_ptr<SpillDir> dir, const std::string& name);
   ~SpillRunReader();
   SpillRunReader(const SpillRunReader&) = delete;
   SpillRunReader& operator=(const SpillRunReader&) = delete;
@@ -163,6 +187,7 @@ class SpillRunReader {
  private:
   bool Refill(size_t need);
 
+  std::shared_ptr<SpillDir> dir_;  ///< claim co-owner, may be null
   std::FILE* file_ = nullptr;
   std::string buf_;
   size_t pos_ = 0;

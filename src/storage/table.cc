@@ -149,7 +149,14 @@ Status Table::Insert(Row row) {
   ++rows_written_;
   IndexRow(rows_.size() - 1);
   Touch();
+  Capture(storage::ChangeEntry::Op::kInsert, rows_.back());
   return Status::OK();
+}
+
+void Table::EnableChangeCapture() {
+  if (changelog_ == nullptr) {
+    changelog_ = std::make_unique<storage::ChangeLog>();
+  }
 }
 
 Status Table::BufferedInsert(AppendBuffer* buf, Row row) {
@@ -199,12 +206,14 @@ Status Table::InsertOrReplace(Row row) {
     }
   }
   DIP_RETURN_NOT_OK(CheckRow(row));
+  bool replaced = false;
   if (!schema_.primary_key().empty()) {
     size_t slot = FindSlotByKey(ExtractKey(row));
     if (slot != SIZE_MAX) {
       UnindexRow(slot);
       live_[slot] = false;
       --live_count_;
+      replaced = true;
     }
   }
   rows_.push_back(std::move(row));
@@ -213,6 +222,9 @@ Status Table::InsertOrReplace(Row row) {
   ++rows_written_;
   IndexRow(rows_.size() - 1);
   Touch();
+  Capture(replaced ? storage::ChangeEntry::Op::kUpdate
+                   : storage::ChangeEntry::Op::kInsert,
+          rows_.back());
   return Status::OK();
 }
 
@@ -246,9 +258,13 @@ size_t Table::DeleteWhere(const std::function<bool(const Row&)>& pred) {
       live_[slot] = false;
       --live_count_;
       ++removed;
+      if (changelog_ != nullptr) {
+        Touch();
+        Capture(storage::ChangeEntry::Op::kDelete, rows_[slot]);
+      }
     }
   }
-  if (removed > 0) Touch();
+  if (removed > 0 && changelog_ == nullptr) Touch();
   return removed;
 }
 
@@ -260,6 +276,8 @@ void Table::Clear() {
   for (auto& [name, idx] : secondary_) idx.map.clear();
   for (auto& [name, idx] : ordered_) idx.map.clear();
   Touch();
+  // A cleared table has no history: consumers restart from position 0.
+  if (changelog_ != nullptr) changelog_->Clear();
 }
 
 Result<size_t> Table::UpdateWhere(const std::function<bool(const Row&)>& pred,
@@ -289,8 +307,12 @@ Result<size_t> Table::UpdateWhere(const std::function<bool(const Row&)>& pred,
     IndexRow(slot);
     ++updated;
     ++rows_written_;
+    if (changelog_ != nullptr) {
+      Touch();
+      Capture(storage::ChangeEntry::Op::kUpdate, rows_[slot]);
+    }
   }
-  if (updated > 0) Touch();
+  if (updated > 0 && changelog_ == nullptr) Touch();
   return updated;
 }
 
@@ -425,6 +447,7 @@ Table::State Table::SaveState() const {
   state.live = live_;
   state.live_count = live_count_;
   state.pk_index = pk_index_;
+  state.changelog_end = changelog_ == nullptr ? 0 : changelog_->size();
   for (const auto& [name, idx] : secondary_) {
     state.secondary_maps[name] = idx.map;
   }
@@ -459,6 +482,8 @@ void Table::RestoreState(State state) {
       idx.map.emplace(rows_[slot][idx.column], slot);
     }
   }
+  // Rollback: entries captured after the snapshot describe undone work.
+  if (changelog_ != nullptr) changelog_->TruncateTo(state.changelog_end);
   Touch();
 }
 
@@ -473,9 +498,14 @@ size_t Table::ByteSize() const {
     if (!live_[slot]) continue;
     for (const auto& val : rows_[slot]) total += val.ByteSize();
   }
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  byte_size_version_ = v;
-  byte_size_cache_ = total;
+  // Re-validate before memoizing: a mutation that landed between the
+  // version read and the walk (e.g. an append-buffer flush) must not get
+  // its stale total cached under the newer version.
+  if (version() == v) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    byte_size_version_ = v;
+    byte_size_cache_ = total;
+  }
   return total;
 }
 
@@ -492,9 +522,14 @@ std::shared_ptr<const ColumnFrame> Table::ColumnarSnapshot() const {
     builder.AddRow(rows_[slot]);
   }
   auto frame = builder.Finish();
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  snapshot_version_ = v;
-  snapshot_ = frame;
+  // Same staleness guard as ByteSize: only cache a snapshot whose version
+  // still matches the live content; a flush racing the build would
+  // otherwise serve columnar kernels rows that are missing the new data.
+  if (version() == v) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    snapshot_version_ = v;
+    snapshot_ = frame;
+  }
   return frame;
 }
 

@@ -14,6 +14,7 @@
 
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/storage/changelog.h"
 #include "src/types/column.h"
 #include "src/types/schema.h"
 
@@ -193,6 +194,18 @@ class Table {
     return rows_written_.load(std::memory_order_relaxed);
   }
 
+  /// --- change-data capture (src/storage/changelog.h) ---
+  /// Off by default (zero overhead). Once enabled, every committed row
+  /// mutation — including rows arriving through an AppendOverlay flush,
+  /// which funnels into Insert in serial replay order — appends one
+  /// version-stamped entry to the table's ChangeLog. Incremental view
+  /// maintenance (src/ivm) folds those entries instead of rescanning.
+  void EnableChangeCapture();
+  bool change_capture_enabled() const { return changelog_ != nullptr; }
+  /// The table's change log, or nullptr when capture is disabled.
+  storage::ChangeLog* changelog() { return changelog_.get(); }
+  const storage::ChangeLog* changelog() const { return changelog_.get(); }
+
   /// Opaque snapshot of the table content (rows + indexes). IO counters
   /// are not part of the state.
   struct State {
@@ -202,6 +215,7 @@ class Table {
     std::unordered_multimap<size_t, size_t> pk_index;
     std::map<std::string, std::unordered_multimap<size_t, size_t>>
         secondary_maps;
+    size_t changelog_end = 0;  ///< change-log watermark at capture time
   };
   /// Captures the current content for a later RestoreState (transactions).
   State SaveState() const;
@@ -251,6 +265,13 @@ class Table {
   // columnar snapshot caches invalidate.
   void Touch() { version_.fetch_add(1, std::memory_order_release); }
 
+  // Appends a change-capture entry when capture is enabled; no-op
+  // otherwise. Called after the mutation committed and Touch() ran, so the
+  // stamped version is the post-mutation content version.
+  void Capture(storage::ChangeEntry::Op op, const Row& row) {
+    if (changelog_ != nullptr) changelog_->Append(op, row, version());
+  }
+
   Status BufferedInsert(AppendBuffer* buf, Row row);
   Status CheckRow(const Row& row) const;
   Row ExtractKey(const Row& row) const;
@@ -272,6 +293,7 @@ class Table {
   std::map<std::string, OrderedIndex> ordered_;
   mutable std::atomic<uint64_t> rows_read_{0};
   std::atomic<uint64_t> rows_written_{0};
+  std::unique_ptr<storage::ChangeLog> changelog_;  // null = capture off
 
   // Content version + caches derived from it. The mutex only guards the
   // cache slots (cheap, uncontended: mutators run serially per table).

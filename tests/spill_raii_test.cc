@@ -1,0 +1,161 @@
+// Spill temp-directory lifetime tests (src/storage/spill.h): every
+// claimed spill directory is released on every exit path. The probe hook
+// observes the claim protocol; the forced-abort test destroys an
+// external-sort cursor mid-merge — the shape of an instance that
+// dead-letters or errors while spilled runs are open — and asserts the
+// claimed directory is gone from disk afterwards.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ra/query.h"
+#include "src/storage/spill.h"
+
+namespace dipbench {
+namespace {
+
+/// Thread-safe recorder for SpillDirProbe events.
+struct ProbeLog {
+  std::mutex mu;
+  std::vector<std::string> claimed;
+  std::vector<std::string> released;
+
+  void Install() {
+    SetSpillDirProbe([this](const std::string& path, bool is_claim) {
+      std::lock_guard<std::mutex> lock(mu);
+      (is_claim ? claimed : released).push_back(path);
+    });
+  }
+  ~ProbeLog() { SetSpillDirProbe(nullptr); }
+};
+
+RowSet WideRows(size_t n) {
+  RowSet out;
+  out.schema.AddColumn("k", DataType::kInt64, false)
+      .AddColumn("pad", DataType::kString);
+  out.rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Descending keys force real sort work; the pad makes rows heavy
+    // enough that a small budget spills after a few hundred of them.
+    out.rows.push_back({Value::Int(static_cast<int64_t>(n - i)),
+                        Value::String(std::string(64, 'x') +
+                                      std::to_string(i % 512))});
+  }
+  return out;
+}
+
+TEST(SpillRaiiTest, AbortedExternalSortReleasesItsClaimedDir) {
+  ProbeLog probe;
+  probe.Install();
+  {
+    ScopedMemoryBudget budget(16 * 1024);
+    ExecContext ec;
+    Query q = Query::From(WideRows(20000)).OrderBy({{"k", true}});
+    CursorPtr cursor = q.plan()->MakeCursor(&ec);
+    ASSERT_TRUE(cursor->Open().ok());
+    // Open spilled runs and started merging; pull one batch so the run
+    // readers are live mid-merge...
+    Batch batch;
+    ASSERT_TRUE(cursor->Next(&batch).ok());
+    ASSERT_FALSE(batch.empty());
+    // ...then abort: the cursor dies here without drain or Close(), like
+    // a plan whose downstream operator errored mid-stream.
+  }
+  std::lock_guard<std::mutex> lock(probe.mu);
+  ASSERT_FALSE(probe.claimed.empty()) << "sort never spilled — no claim "
+                                         "under a 16KiB budget means the "
+                                         "test lost its teeth";
+  std::set<std::string> claimed(probe.claimed.begin(), probe.claimed.end());
+  std::set<std::string> released(probe.released.begin(),
+                                 probe.released.end());
+  EXPECT_EQ(claimed, released);
+  for (const std::string& dir : claimed) {
+    EXPECT_FALSE(std::filesystem::exists(dir)) << dir << " leaked";
+  }
+}
+
+TEST(SpillRaiiTest, EveryBlockingOperatorReleasesOnAbort) {
+  // Same forced-abort shape across the other spilling operators:
+  // aggregation, union-distinct, and the grace hash join.
+  ProbeLog probe;
+  probe.Install();
+  auto run_and_abort = [](Query q) {
+    ScopedMemoryBudget budget(16 * 1024);
+    ExecContext ec;
+    CursorPtr cursor = q.plan()->MakeCursor(&ec);
+    ASSERT_TRUE(cursor->Open().ok());
+    Batch batch;
+    ASSERT_TRUE(cursor->Next(&batch).ok());
+  };
+  run_and_abort(Query::From(WideRows(20000))
+                    .GroupBy({"pad"}, {{"n", AggFunc::kCount, ""}}));
+  run_and_abort(Query::From(WideRows(12000))
+                    .Union(Query::From(WideRows(12000)), {"k"}));
+  run_and_abort(Query::From(WideRows(12000))
+                    .Join(Query::From(WideRows(12000)), {"k"}, {"k"}));
+
+  std::lock_guard<std::mutex> lock(probe.mu);
+  ASSERT_FALSE(probe.claimed.empty());
+  std::set<std::string> claimed(probe.claimed.begin(), probe.claimed.end());
+  std::set<std::string> released(probe.released.begin(),
+                                 probe.released.end());
+  EXPECT_EQ(claimed, released);
+  for (const std::string& dir : claimed) {
+    EXPECT_FALSE(std::filesystem::exists(dir)) << dir << " leaked";
+  }
+}
+
+TEST(SpillRaiiTest, RunFilesCoOwnTheDirectoryClaim) {
+  std::string path;
+  {
+    auto dir = std::make_shared<SpillDir>();
+    path = dir->path();
+    ASSERT_TRUE(std::filesystem::is_directory(path));
+
+    auto writer = std::make_unique<SpillRunWriter>(dir, "run0");
+    writer->Add({Value::Int(1)});
+    ASSERT_TRUE(writer->Finish().ok());
+    auto reader = std::make_unique<SpillRunReader>(dir, "run0");
+
+    // The operator's own handle drops first (mid-unwind ordering); the
+    // claim must survive while any run file is open.
+    dir.reset();
+    ASSERT_TRUE(std::filesystem::is_directory(path));
+    writer.reset();
+    ASSERT_TRUE(std::filesystem::is_directory(path));
+
+    Row row;
+    ASSERT_TRUE(reader->Next(&row));
+    EXPECT_EQ(row[0].AsInt(), 1);
+    // `reader` is the last co-owner; its destruction releases the claim.
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(SpillRaiiTest, CompletedSpillingQueryLeavesNoDirectoryBehind) {
+  ProbeLog probe;
+  probe.Install();
+  {
+    ScopedMemoryBudget budget(16 * 1024);
+    ExecContext ec;
+    auto result =
+        Query::From(WideRows(20000)).OrderBy({{"k", true}}).Run(&ec);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->rows.size(), 20000u);
+  }
+  std::lock_guard<std::mutex> lock(probe.mu);
+  ASSERT_FALSE(probe.claimed.empty());
+  EXPECT_EQ(probe.claimed.size(), probe.released.size());
+  for (const std::string& dir : probe.claimed) {
+    EXPECT_FALSE(std::filesystem::exists(dir)) << dir << " leaked";
+  }
+}
+
+}  // namespace
+}  // namespace dipbench
